@@ -1,0 +1,58 @@
+// Command fits runs intermediate-taint-source inference on a firmware image:
+// it unpacks the image, selects the network binaries, and prints the ranked
+// ITS candidates per binary.
+//
+// Usage:
+//
+//	fits -top 5 firmware.fw
+//	fits -unpack firmware.fw        # list the filesystem only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fits"
+	"fits/internal/firmware"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fits: ")
+	top := flag.Int("top", 3, "how many ranked candidates to print per binary")
+	unpackOnly := flag.Bool("unpack", false, "only unpack and list the filesystem")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: fits [-top N] [-unpack] firmware.fw")
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *unpackOnly {
+		img, err := firmware.Unpack(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s %s (encoding: %s)\n", img.Vendor, img.Product, img.Version, firmware.DetectScheme(raw))
+		for _, f := range img.Files {
+			fmt.Printf("  %-30s %8d bytes\n", f.Path, len(f.Data))
+		}
+		return
+	}
+
+	res, err := fits.Analyze(raw, fits.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s %s %s — analyzed in %s\n", res.Vendor, res.Product, res.Version, res.Elapsed.Round(1e6))
+	for _, t := range res.Targets {
+		fmt.Printf("\n%s (%s): %d custom functions\n", t.Path, t.Binary, t.NumFuncs)
+		for i, c := range t.TopCandidates(*top) {
+			fmt.Printf("  %d. %#x  score %.4f\n", i+1, c.Entry, c.Score)
+		}
+	}
+}

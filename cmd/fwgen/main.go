@@ -1,0 +1,73 @@
+// Command fwgen generates the synthetic firmware corpus: 59 packed firmware
+// images across five vendor profiles, each with a ground-truth manifest.
+//
+// Usage:
+//
+//	fwgen -out corpus/            # write all 59 samples
+//	fwgen -out corpus/ -vendor NETGEAR
+//	fwgen -list                   # print the dataset without writing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fits/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fwgen: ")
+	out := flag.String("out", "", "output directory for firmware images and manifests")
+	vendor := flag.String("vendor", "", "generate only this vendor's samples")
+	list := flag.Bool("list", false, "list the dataset and exit")
+	flag.Parse()
+
+	specs := synth.Dataset()
+	if *list {
+		for _, s := range specs {
+			fail := s.FailureMode
+			if fail == "" {
+				fail = "-"
+			}
+			fmt.Printf("%-8s %-12s %-12s latest=%-5v failure=%s\n",
+				s.Vendor, s.Product, s.Version, s.Latest, fail)
+		}
+		return
+	}
+	if *out == "" {
+		log.Fatal("missing -out directory (or use -list)")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for _, spec := range specs {
+		if *vendor != "" && spec.Vendor != *vendor {
+			continue
+		}
+		sample, err := synth.Generate(spec)
+		if err != nil {
+			log.Fatalf("%s %s: %v", spec.Vendor, spec.Product, err)
+		}
+		base := fmt.Sprintf("%s_%s_%s", spec.Vendor, spec.Product, spec.Version)
+		img := filepath.Join(*out, base+".fw")
+		if err := os.WriteFile(img, sample.Packed, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		man, err := json.MarshalIndent(sample.Manifest, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*out, base+".manifest.json"), man, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		n++
+		fmt.Printf("wrote %s (%d bytes, %d planted bugs)\n", img, len(sample.Packed), sample.Manifest.TrueBugs())
+	}
+	fmt.Printf("generated %d firmware samples\n", n)
+}

@@ -1,0 +1,202 @@
+// Package fits is a Go reproduction of FITS — inFerring Intermediate Taint
+// Sources — from "FITS: Inferring Intermediate Taint Sources for Effective
+// Vulnerability Analysis of IoT Device Firmware" (ASPLOS '23).
+//
+// FITS ranks the custom functions of stripped firmware binaries as
+// intermediate taint sources (ITSs): functions that fetch a field of stored
+// user input and hand it onward. Starting taint analysis at an ITS instead
+// of at interface library functions shortens the data-flow paths to sinks
+// dramatically, which is what makes static vulnerability discovery on large
+// closed-source firmware tractable.
+//
+// The package exposes the complete pipeline:
+//
+//	result, err := fits.Analyze(firmwareBytes, fits.DefaultOptions())
+//	for _, t := range result.Targets {
+//	    for i, c := range t.TopCandidates(3) {
+//	        fmt.Printf("%d. %#x score %.3f\n", i+1, c.Entry, c.Score)
+//	    }
+//	}
+//
+// Everything the pipeline rests on is implemented in internal packages: the
+// firmware container and unpacker, a three-architecture instruction set and
+// loader, an IR lifter, CFG/call-graph recovery with under-constrained
+// symbolic execution, reaching-definition and call-site dataflow, DBSCAN
+// clustering, similarity scoring, and two taint engines (a static
+// reachability engine and a budgeted symbolic-execution engine) for the
+// paper's vulnerability-discovery evaluation.
+package fits
+
+import (
+	"fmt"
+	"time"
+
+	"fits/internal/infer"
+	"fits/internal/karonte"
+	"fits/internal/know"
+	"fits/internal/loader"
+	"fits/internal/score"
+	"fits/internal/taint"
+)
+
+// Options configures Analyze.
+type Options struct {
+	// Metric selects the similarity metric (default cosine).
+	Metric score.Metric
+	// SkipIndirectResolution disables UCSE-based indirect call resolution.
+	SkipIndirectResolution bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{Metric: score.Cosine} }
+
+// Candidate is one ranked intermediate-taint-source candidate.
+type Candidate struct {
+	Entry uint32
+	Score float64
+}
+
+// TargetResult is the inference outcome for one network binary.
+type TargetResult struct {
+	Path       string // filesystem path within the firmware
+	Binary     string
+	NumFuncs   int
+	Candidates []Candidate // descending score
+
+	target *loader.Target
+}
+
+// TopCandidates returns the k best-ranked candidates.
+func (t *TargetResult) TopCandidates(k int) []Candidate {
+	if k > len(t.Candidates) {
+		k = len(t.Candidates)
+	}
+	return t.Candidates[:k]
+}
+
+// Result is the outcome of analyzing one firmware image.
+type Result struct {
+	Vendor  string
+	Product string
+	Version string
+	Targets []*TargetResult
+	Elapsed time.Duration
+}
+
+// Analyze unpacks a firmware image, selects its network binaries, and ranks
+// their custom functions as intermediate taint sources.
+func Analyze(raw []byte, opts Options) (*Result, error) {
+	start := time.Now()
+	res, err := loader.Load(raw, loader.Options{SkipResolver: opts.SkipIndirectResolution})
+	if err != nil {
+		return nil, err
+	}
+	cfgn := infer.DefaultConfig()
+	cfgn.Metric = opts.Metric
+	out := &Result{
+		Vendor:  res.Image.Vendor,
+		Product: res.Image.Product,
+		Version: res.Image.Version,
+	}
+	for _, t := range res.Targets {
+		r := infer.InferTarget(t, cfgn)
+		tr := &TargetResult{Path: t.Path, Binary: r.Binary, NumFuncs: r.NumFuncs, target: t}
+		for _, e := range r.Ranked {
+			tr.Candidates = append(tr.Candidates, Candidate{Entry: e.Entry, Score: e.Score})
+		}
+		out.Targets = append(out.Targets, tr)
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// Engine selects a taint analysis engine for Scan.
+type Engine uint8
+
+// Engines: the static reachability engine (STA) and the budgeted
+// symbolic-execution engine (Karonte-style).
+const (
+	EngineStatic Engine = iota
+	EngineSymbolic
+)
+
+// Alert is one reported potentially-vulnerable flow.
+type Alert struct {
+	Binary string
+	Site   uint32 // sink call instruction address
+	Func   uint32 // entry of the function containing the sink
+	Sink   string
+	Kind   string // "buffer-overflow" or "command-hijack"
+	Source string // "cts-region", "cts-value" or "its"
+}
+
+// ScanOptions configures a taint scan.
+type ScanOptions struct {
+	Engine Engine
+	// ITS lists the intermediate taint sources to seed, typically verified
+	// entries from TopCandidates. Empty means classical sources only.
+	ITS []uint32
+	// ITSOut lists pointer-output sources: function entry to the output
+	// parameter indexes whose pointees carry the fetched data.
+	ITSOut map[uint32][]int
+	// StringFilter drops alerts keyed on system-data fields (static
+	// engine only).
+	StringFilter bool
+}
+
+// Scan runs taint analysis over one analyzed target.
+func (t *TargetResult) Scan(opts ScanOptions) ([]Alert, error) {
+	if t.target == nil {
+		return nil, fmt.Errorf("fits: target was not produced by Analyze")
+	}
+	var raw []taint.Alert
+	switch opts.Engine {
+	case EngineSymbolic:
+		e := karonte.New(t.target.Bin, t.target.Model, karonte.Options{
+			UseCTS: true, ITS: opts.ITS, ITSOut: opts.ITSOut,
+		})
+		raw = e.Run()
+	default:
+		e := taint.New(t.target.Bin, t.target.Model, taint.Options{
+			UseCTS: true, ITS: opts.ITS, ITSOut: opts.ITSOut,
+			StringFilter: opts.StringFilter,
+		})
+		raw = e.Run()
+	}
+	out := make([]Alert, 0, len(raw))
+	for _, a := range raw {
+		out = append(out, Alert{
+			Binary: a.Binary, Site: a.Site, Func: a.Func,
+			Sink: a.Sink, Kind: a.Kind.String(), Source: a.From.String(),
+		})
+	}
+	return out, nil
+}
+
+// Sinks returns the sink library functions recognized by the engines.
+func Sinks() []string {
+	out := make([]string, 0, len(know.Sinks))
+	for name := range know.Sinks {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Sources returns the classical taint source functions recognized by the
+// engines.
+func Sources() []string {
+	out := make([]string, 0, len(know.Sources))
+	for name := range know.Sources {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Anchors returns the anchor function names used for behavioral scoring.
+func Anchors() []string {
+	out := make([]string, 0, len(know.Anchors))
+	for name := range know.Anchors {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module fits
+
+go 1.22

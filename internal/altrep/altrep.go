@@ -1,0 +1,267 @@
+// Package altrep implements the baseline function representations the paper
+// compares BFV against in RQ3 — the Augmented-CFG of NERO and the
+// Attributed-CFG of Gemini — and the BootStomp-style keyword taint-source
+// heuristic used as the RQ1 comparison.
+//
+// Both graph representations are code-structure summaries: they describe how
+// a function's code is shaped, not how data flows through it, which is
+// exactly why they transfer poorly to ITS inference. Each is embedded into
+// the common 11-dimensional vector shape so the clustering and scoring
+// machinery is shared with BFV.
+package altrep
+
+import (
+	"sort"
+	"strings"
+
+	"fits/internal/bfv"
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+	"fits/internal/isa"
+)
+
+// AugmentedCFG summarizes a function in the spirit of NERO's augmented
+// control flow graph: call-site structure along CFG paths.
+func AugmentedCFG(bin *binimg.Binary, m *cfg.Model, f *cfg.Function) bfv.Vector {
+	var v bfv.Vector
+	blocks := f.BlocksInOrder()
+	v[0] = float64(len(blocks))
+	edges := 0
+	maxOut := 0
+	for _, b := range blocks {
+		edges += len(b.Succs)
+		if len(b.Succs) > maxOut {
+			maxOut = len(b.Succs)
+		}
+	}
+	v[1] = float64(edges)
+	v[2] = float64(maxOut)
+	v[3] = float64(len(f.Calls))
+	// Distinct call targets approximate NERO's call-site vocabulary.
+	targets := map[uint32]bool{}
+	imports := map[string]bool{}
+	for _, cs := range f.Calls {
+		if cs.Target != 0 {
+			targets[cs.Target] = true
+		}
+		if cs.ImportName != "" {
+			imports[cs.ImportName] = true
+		}
+	}
+	v[4] = float64(len(targets))
+	v[5] = float64(len(imports))
+	// Longest acyclic path length from entry (bounded DFS).
+	v[6] = float64(longestPath(f))
+	// Instruction volume and branch density.
+	instrs, branches := 0, 0
+	for _, b := range blocks {
+		instrs += len(b.Instrs)
+		for _, in := range b.Instrs {
+			if in.IsBranch() {
+				branches++
+			}
+		}
+	}
+	v[7] = float64(instrs)
+	v[8] = float64(branches)
+	if len(blocks) > 0 {
+		v[9] = float64(instrs) / float64(len(blocks))
+	}
+	v[10] = float64(len(f.Loops))
+	return v
+}
+
+// AttributedCFG embeds a function following Gemini's architecture: each
+// basic block carries an instruction-type attribute vector, and a
+// Structure2vec network propagates attributes along CFG edges before
+// summing block embeddings into a graph embedding.
+//
+// Gemini's discriminative power comes from training the network weights on
+// large labeled similarity corpora; closed-source heterogeneous firmware
+// offers no such labels (the paper's RQ3 discussion), so the network here
+// runs with its fixed arbitrary initialization — architecture-faithful,
+// training-free, and accordingly weak at ranking ITSs.
+func AttributedCFG(bin *binimg.Binary, m *cfg.Model, f *cfg.Function) bfv.Vector {
+	const attrDim = 8
+	blocks := f.BlocksInOrder()
+	n := len(blocks)
+	if n == 0 {
+		return bfv.Vector{}
+	}
+	index := map[uint32]int{}
+	for i, b := range blocks {
+		index[b.Start] = i
+	}
+	// Per-block instruction-type attributes.
+	attrs := make([][attrDim]float64, n)
+	for i, b := range blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd,
+				isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpAddi:
+				attrs[i][0]++
+			case isa.OpLdb, isa.OpLdw, isa.OpPop:
+				attrs[i][1]++
+			case isa.OpStb, isa.OpStw, isa.OpPush:
+				attrs[i][2]++
+			case isa.OpCall, isa.OpCallr:
+				attrs[i][3]++
+			case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+				attrs[i][4]++
+			case isa.OpMovi:
+				attrs[i][5]++
+			case isa.OpJmp, isa.OpJr, isa.OpRet:
+				attrs[i][6]++
+			}
+		}
+		attrs[i][7] = float64(len(b.Succs))
+	}
+	// Untrained Structure2vec: mu_v = tanh(W1*x_v + W2*sum(mu_u)).
+	const iters = 3
+	mu := make([][bfv.Dim]float64, n)
+	next := make([][bfv.Dim]float64, n)
+	for t := 0; t < iters; t++ {
+		for i, b := range blocks {
+			var agg [bfv.Dim]float64
+			for _, s := range b.Succs {
+				if j, ok := index[s]; ok {
+					for d := 0; d < bfv.Dim; d++ {
+						agg[d] += mu[j][d]
+					}
+				}
+			}
+			for d := 0; d < bfv.Dim; d++ {
+				sum := 0.0
+				for k := 0; k < attrDim; k++ {
+					sum += w1(d, k) * attrs[i][k]
+				}
+				for k := 0; k < bfv.Dim; k++ {
+					sum += w2(d, k) * agg[k]
+				}
+				next[i][d] = tanh(sum)
+			}
+		}
+		mu, next = next, mu
+	}
+	var v bfv.Vector
+	for i := 0; i < n; i++ {
+		for d := 0; d < bfv.Dim; d++ {
+			v[d] += mu[i][d]
+		}
+	}
+	return v
+}
+
+// w1 and w2 are the network's fixed arbitrary weights, derived from a hash
+// so the "initialization" is deterministic across runs.
+func w1(i, j int) float64 { return fixedWeight(uint32(i*53+j)*2654435761 + 11) }
+func w2(i, j int) float64 { return fixedWeight(uint32(i*41+j)*2246822519 + 1299721) }
+
+func fixedWeight(h uint32) float64 {
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	return float64(h%2048)/1024 - 1 // in [-1, 1)
+}
+
+func tanh(x float64) float64 {
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return -1
+	}
+	e2 := exp2x(x)
+	return (e2 - 1) / (e2 + 1)
+}
+
+// exp2x computes e^(2x) with a short series; precision is irrelevant for an
+// untrained network.
+func exp2x(x float64) float64 {
+	z := 2 * x
+	term, sum := 1.0, 1.0
+	for i := 1; i < 16; i++ {
+		term *= z / float64(i)
+		sum += term
+	}
+	if sum <= 0 {
+		return 1e-9
+	}
+	return sum
+}
+
+// longestPath returns the longest acyclic block path length from the entry.
+func longestPath(f *cfg.Function) int {
+	best := 0
+	onPath := map[uint32]bool{}
+	var dfs func(a uint32, depth int)
+	steps := 0
+	dfs = func(a uint32, depth int) {
+		if steps++; steps > 4096 {
+			return
+		}
+		if depth > best {
+			best = depth
+		}
+		b, ok := f.Blocks[a]
+		if !ok || onPath[a] {
+			return
+		}
+		onPath[a] = true
+		for _, s := range b.Succs {
+			dfs(s, depth+1)
+		}
+		onPath[a] = false
+	}
+	dfs(f.Entry, 0)
+	return best
+}
+
+// bootStompKeywords are the seed words of BootStomp's heuristic taint-source
+// inference, which keys on bootloader-domain strings.
+var bootStompKeywords = []string{
+	"boot", "kernel", "loader", "unlock", "oem", "partition", "flash",
+	"fastboot", "recovery", "bl1", "bl2", "aboot", "sbl",
+}
+
+// BootStomp ranks custom functions by the BootStomp heuristic: a function is
+// a taint-source candidate when it references rodata strings containing a
+// seed keyword. On firmware whose strings lack bootloader vocabulary it
+// returns nothing, reproducing the paper's RQ1 comparison result.
+func BootStomp(bin *binimg.Binary, m *cfg.Model) []uint32 {
+	var out []uint32
+	for _, f := range m.CustomFuncs() {
+		if referencesKeyword(bin, f) {
+			out = append(out, f.Entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// referencesKeyword scans a function's constants for rodata strings that
+// contain any seed keyword.
+func referencesKeyword(bin *binimg.Binary, f *cfg.Function) bool {
+	for _, ba := range f.Order {
+		for _, in := range f.Blocks[ba].Instrs {
+			if in.Op != isa.OpMovi {
+				continue
+			}
+			addr := uint32(in.Imm)
+			if bin.SectionOf(addr) != "rodata" {
+				continue
+			}
+			s, ok := bin.CString(addr)
+			if !ok {
+				continue
+			}
+			ls := strings.ToLower(s)
+			for _, kw := range bootStompKeywords {
+				if strings.Contains(ls, kw) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

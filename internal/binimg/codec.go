@@ -1,0 +1,198 @@
+package binimg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"fits/internal/isa"
+)
+
+// Format errors.
+var (
+	ErrBadMagic  = errors.New("binimg: bad magic")
+	ErrTruncated = errors.New("binimg: truncated input")
+)
+
+const (
+	flagStripped = 1 << 0
+	maxStr       = 1 << 16
+	maxCount     = 1 << 20
+	maxSection   = 1 << 26
+)
+
+type writer struct{ buf bytes.Buffer }
+
+func (w *writer) u8(v uint8) { w.buf.WriteByte(v) }
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *writer) str(s string)  { w.u32(uint32(len(s))); w.buf.WriteString(s) }
+func (w *writer) blob(b []byte) { w.u32(uint32(len(b))); w.buf.Write(b) }
+
+type reader struct {
+	src []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.src) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.src[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.src) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.src[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStr || r.off+int(n) > len(r.src) {
+		r.fail(ErrTruncated)
+		return ""
+	}
+	s := string(r.src[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) blob(limit uint32) []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > limit || r.off+int(n) > len(r.src) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.src[r.off:r.off+int(n)])
+	r.off += int(n)
+	return b
+}
+
+// Encode serializes the binary to its container format.
+func (b *Binary) Encode() []byte {
+	var w writer
+	w.buf.Write(Magic)
+	w.u8(uint8(b.Arch))
+	var flags uint8
+	if b.Stripped {
+		flags |= flagStripped
+	}
+	w.u8(flags)
+	w.str(b.Name)
+	w.u32(b.Entry)
+	for _, s := range []Section{b.Text, b.Rodata, b.Data} {
+		w.u32(s.Addr)
+		w.blob(s.Data)
+	}
+	w.u32(b.BssAddr)
+	w.u32(b.BssSize)
+	w.u32(uint32(len(b.Needed)))
+	for _, n := range b.Needed {
+		w.str(n)
+	}
+	w.u32(uint32(len(b.Exports)))
+	for _, e := range b.Exports {
+		w.str(e.Name)
+		w.u32(e.Addr)
+	}
+	w.u32(uint32(len(b.Imports)))
+	for _, im := range b.Imports {
+		w.str(im.Name)
+		w.u32(im.Stub)
+		w.u32(im.GOT)
+	}
+	w.u32(uint32(len(b.Funcs)))
+	for _, f := range b.Funcs {
+		w.str(f.Name)
+		w.u32(f.Addr)
+	}
+	return w.buf.Bytes()
+}
+
+// Decode parses a binary container. It validates magic, architecture and
+// bounds, returning descriptive errors for malformed images.
+func Decode(src []byte) (*Binary, error) {
+	if len(src) < len(Magic) || !bytes.Equal(src[:len(Magic)], Magic) {
+		return nil, ErrBadMagic
+	}
+	r := &reader{src: src, off: len(Magic)}
+	b := &Binary{}
+	b.Arch = isa.Arch(r.u8())
+	flags := r.u8()
+	b.Stripped = flags&flagStripped != 0
+	b.Name = r.str()
+	b.Entry = r.u32()
+	for _, sp := range []*Section{&b.Text, &b.Rodata, &b.Data} {
+		sp.Addr = r.u32()
+		sp.Data = r.blob(maxSection)
+	}
+	b.BssAddr = r.u32()
+	b.BssSize = r.u32()
+	count := func() int {
+		n := r.u32()
+		if n > maxCount {
+			r.fail(ErrTruncated)
+			return 0
+		}
+		return int(n)
+	}
+	for i, n := 0, count(); i < n && r.err == nil; i++ {
+		b.Needed = append(b.Needed, r.str())
+	}
+	for i, n := 0, count(); i < n && r.err == nil; i++ {
+		b.Exports = append(b.Exports, Sym{Name: r.str(), Addr: r.u32()})
+	}
+	for i, n := 0, count(); i < n && r.err == nil; i++ {
+		b.Imports = append(b.Imports, Import{Name: r.str(), Stub: r.u32(), GOT: r.u32()})
+	}
+	for i, n := 0, count(); i < n && r.err == nil; i++ {
+		b.Funcs = append(b.Funcs, Sym{Name: r.str(), Addr: r.u32()})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !b.Arch.Valid() {
+		return nil, fmt.Errorf("binimg: unknown architecture %d", b.Arch)
+	}
+	if len(b.Text.Data)%isa.Width != 0 {
+		return nil, fmt.Errorf("binimg: text size %d not a multiple of instruction width", len(b.Text.Data))
+	}
+	return b, nil
+}
+
+// IsBinary reports whether the byte stream starts with the container magic.
+func IsBinary(src []byte) bool {
+	return len(src) >= len(Magic) && bytes.Equal(src[:len(Magic)], Magic)
+}

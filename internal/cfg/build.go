@@ -1,0 +1,492 @@
+package cfg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fits/internal/binimg"
+	"fits/internal/ir"
+	"fits/internal/isa"
+)
+
+// IndirectResolver resolves the possible targets of an indirect call site.
+// The ucse package provides the production implementation.
+type IndirectResolver func(bin *binimg.Binary, f *Function, site CallSite) []uint32
+
+// JumpTableResolver resolves a computed jump's possible targets (switch
+// jump tables). The ucse package provides the production implementation.
+type JumpTableResolver func(bin *binimg.Binary, f *Function, addr uint32) []uint32
+
+// Options configures model construction.
+type Options struct {
+	// Resolver handles indirect call sites; nil leaves them unresolved.
+	Resolver IndirectResolver
+	// JumpResolver handles computed jumps; nil leaves switch-case blocks
+	// unrecovered.
+	JumpResolver JumpTableResolver
+	// SkipPrologueScan disables the linear sweep for unreached functions.
+	SkipPrologueScan bool
+	// MaxFuncs bounds discovery as a runaway guard.
+	MaxFuncs int
+}
+
+const defaultMaxFuncs = 1 << 16
+
+// Build recovers the whole-binary model: functions, CFGs, loops, parameter
+// estimates, and the (reverse) call graph, iterating discovery and indirect
+// resolution to a fixed point.
+func Build(bin *binimg.Binary, opts Options) (*Model, error) {
+	if opts.MaxFuncs == 0 {
+		opts.MaxFuncs = defaultMaxFuncs
+	}
+	m := &Model{Bin: bin, Funcs: map[uint32]*Function{}, Callers: map[uint32][]CallSite{}}
+
+	// Resolved jump-table targets per function entry, applied on (re)build.
+	jumpTables := map[uint32]map[uint32][]uint32{}
+	worklist := seeds(bin)
+	process := func() error {
+		for len(worklist) > 0 {
+			entry := worklist[len(worklist)-1]
+			worklist = worklist[:len(worklist)-1]
+			if _, done := m.Funcs[entry]; done {
+				continue
+			}
+			if len(m.Funcs) >= opts.MaxFuncs {
+				return fmt.Errorf("cfg: %s: function limit %d exceeded", bin.Name, opts.MaxFuncs)
+			}
+			f, err := buildFunction(bin, entry, jumpTables[entry])
+			if err != nil {
+				// Unparseable seed (e.g. a data word that happened to look
+				// like a code pointer): skip it, as real tools do.
+				continue
+			}
+			m.Funcs[entry] = f
+			for _, cs := range f.Calls {
+				if cs.Target != 0 {
+					worklist = append(worklist, cs.Target)
+				}
+			}
+		}
+		return nil
+	}
+
+	// resolveJumpTables runs one pass over unresolved computed jumps; newly
+	// resolved functions are rebuilt with their switch-case blocks.
+	resolveJumpTables := func() bool {
+		changed := false
+		for entry, f := range m.Funcs {
+			for _, addr := range f.DynJumps {
+				if _, done := f.JumpTables[addr]; done {
+					continue
+				}
+				targets := opts.JumpResolver(bin, f, addr)
+				targets = clipJumpTargets(m, f, targets)
+				if len(targets) == 0 {
+					continue
+				}
+				if jumpTables[entry] == nil {
+					jumpTables[entry] = map[uint32][]uint32{}
+				}
+				jumpTables[entry][addr] = targets
+				delete(m.Funcs, entry)
+				worklist = append(worklist, entry)
+				changed = true
+			}
+		}
+		return changed
+	}
+	// resolveIndirect runs one resolution pass over every unresolved
+	// indirect site, reporting whether anything changed.
+	resolveIndirect := func() bool {
+		changed := false
+		for _, f := range m.FuncsInOrder() {
+			var extras []CallSite
+			for i := range f.Calls {
+				cs := &f.Calls[i]
+				if !cs.Indirect || cs.Target != 0 {
+					continue
+				}
+				targets := opts.Resolver(bin, f, *cs)
+				if len(targets) == 0 {
+					continue
+				}
+				sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+				// First target fills the site; extra targets become
+				// additional synthetic sites at the same instruction.
+				cs.Target = targets[0]
+				if name, ok := stubName(bin, targets[0]); ok {
+					cs.ImportName = name
+				}
+				for _, t := range targets[1:] {
+					extra := *cs
+					extra.Target = t
+					if name, ok := stubName(bin, t); ok {
+						extra.ImportName = name
+					} else {
+						extra.ImportName = ""
+					}
+					extras = append(extras, extra)
+				}
+				for _, t := range targets {
+					worklist = append(worklist, t)
+				}
+				changed = true
+			}
+			f.Calls = append(f.Calls, extras...)
+		}
+		return changed
+	}
+
+	// prologueScan seeds functions for unclaimed code that starts with the
+	// standard prologue, reporting whether any seed was added.
+	prologueScan := func() bool {
+		covered := map[uint32]bool{}
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for a := b.Start; a < b.End(); a += isa.Width {
+					covered[a] = true
+				}
+			}
+		}
+		added := false
+		text := bin.Text
+		for off := 0; off+isa.Width <= len(text.Data); off += isa.Width {
+			addr := text.Addr + uint32(off)
+			if covered[addr] {
+				continue
+			}
+			if _, claimed := m.Funcs[addr]; claimed {
+				continue
+			}
+			in, err := bin.Arch.Decode(text.Data[off:])
+			if err != nil {
+				continue
+			}
+			if in.Op == isa.OpPush && in.Rs1 == isa.LR {
+				worklist = append(worklist, addr)
+				added = true
+			}
+		}
+		return added
+	}
+
+	// Iterate discovery, indirect resolution and the prologue scan to a
+	// fixed point: resolved targets expose new functions, newly scanned
+	// functions contain new indirect sites.
+	for round := 0; ; round++ {
+		if err := process(); err != nil {
+			return nil, err
+		}
+		changed := false
+		if opts.Resolver != nil && resolveIndirect() {
+			changed = true
+		}
+		if opts.JumpResolver != nil && resolveJumpTables() {
+			changed = true
+		}
+		if !opts.SkipPrologueScan && prologueScan() {
+			changed = true
+		}
+		if !changed || round > 16 {
+			break
+		}
+	}
+
+	// Reverse call graph, restricted to successfully recovered callees
+	// (a call target that failed to parse is a rejected seed, not a node).
+	for _, f := range m.FuncsInOrder() {
+		for _, cs := range f.Calls {
+			if cs.Target == 0 {
+				continue
+			}
+			if _, ok := m.Funcs[cs.Target]; ok {
+				m.Callers[cs.Target] = append(m.Callers[cs.Target], cs)
+			}
+		}
+	}
+	return m, nil
+}
+
+// clipJumpTargets keeps only targets inside the jumping function's extent:
+// past its entry and before the next known function. A scanned table can
+// over-read into a neighboring function's table; layout bounds discard the
+// overshoot.
+func clipJumpTargets(m *Model, f *Function, targets []uint32) []uint32 {
+	bound := f.Entry + uint32(len(m.Bin.Text.Data)) // text end fallback
+	for entry := range m.Funcs {
+		if entry > f.Entry && entry < bound {
+			bound = entry
+		}
+	}
+	var out []uint32
+	for _, t := range targets {
+		if t > f.Entry && t < bound {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// seeds returns initial function entries: program entry, exports, and
+// instruction-aligned text pointers found in the data section.
+func seeds(bin *binimg.Binary) []uint32 {
+	var out []uint32
+	if bin.Text.Contains(bin.Entry) {
+		out = append(out, bin.Entry)
+	}
+	for _, e := range bin.Exports {
+		if bin.Text.Contains(e.Addr) {
+			out = append(out, e.Addr)
+		}
+	}
+	d := bin.Data.Data
+	for off := 0; off+isa.WordSize <= len(d); off += isa.WordSize {
+		v := binary.LittleEndian.Uint32(d[off:])
+		if bin.Text.Contains(v) && (v-bin.Text.Addr)%isa.Width == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func stubName(bin *binimg.Binary, addr uint32) (string, bool) {
+	im, ok := bin.ImportAtStub(addr)
+	if !ok {
+		return "", false
+	}
+	return im.Name, true
+}
+
+// buildFunction recovers one function by recursive descent from entry.
+// extraJumps supplies resolved targets for computed jumps, letting
+// switch-case blocks join the CFG on rebuild.
+func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uint32) (*Function, error) {
+	if !bin.Text.Contains(entry) || (entry-bin.Text.Addr)%isa.Width != 0 {
+		return nil, fmt.Errorf("cfg: bad entry 0x%x", entry)
+	}
+
+	// Import stubs are single-trampoline functions.
+	if im, ok := bin.ImportAtStub(entry); ok {
+		in, err := bin.InstrAt(entry)
+		if err != nil {
+			return nil, err
+		}
+		lifter := ir.NewLifter()
+		irb, err := lifter.Lift(entry, in)
+		if err != nil {
+			return nil, err
+		}
+		blk := &BasicBlock{Start: entry, Instrs: []isa.Instr{in}, IR: []*ir.Block{irb}}
+		return &Function{
+			Entry:      entry,
+			Name:       im.Name + "@plt",
+			Blocks:     map[uint32]*BasicBlock{entry: blk},
+			Order:      []uint32{entry},
+			ImportStub: true,
+			ImportName: im.Name,
+		}, nil
+	}
+
+	// Pass 1: reachable instructions and leaders.
+	reach := map[uint32]isa.Instr{}
+	leaders := map[uint32]bool{entry: true}
+	work := []uint32{entry}
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		for {
+			if _, seen := reach[addr]; seen {
+				break
+			}
+			in, err := bin.InstrAt(addr)
+			if err != nil {
+				return nil, fmt.Errorf("cfg: at 0x%x: %w", addr, err)
+			}
+			reach[addr] = in
+			next := addr + isa.Width
+			if in.IsBranch() {
+				t := uint32(in.Imm)
+				leaders[t] = true
+				leaders[next] = true
+				work = append(work, t)
+				addr = next
+				continue
+			}
+			switch in.Op {
+			case isa.OpJmp:
+				t := uint32(in.Imm)
+				leaders[t] = true
+				work = append(work, t)
+			case isa.OpJr:
+				for _, t := range extraJumps[addr] {
+					leaders[t] = true
+					work = append(work, t)
+				}
+			case isa.OpRet, isa.OpTramp:
+				// terminal for this path
+			default:
+				addr = next
+				continue
+			}
+			break
+		}
+	}
+
+	// Pass 2: form blocks from leaders.
+	addrs := make([]uint32, 0, len(reach))
+	for a := range reach {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	f := &Function{
+		Entry:  entry,
+		Blocks: map[uint32]*BasicBlock{},
+	}
+	if name, ok := bin.FuncName(entry); ok {
+		f.Name = name
+	} else {
+		f.Name = fmt.Sprintf("sub_%x", entry)
+	}
+
+	lifter := ir.NewLifter()
+	var cur *BasicBlock
+	flush := func() {
+		if cur != nil {
+			f.Blocks[cur.Start] = cur
+			cur = nil
+		}
+	}
+	for i, a := range addrs {
+		in := reach[a]
+		if leaders[a] || cur == nil || (i > 0 && addrs[i-1]+isa.Width != a) {
+			flush()
+			cur = &BasicBlock{Start: a}
+		}
+		irb, err := lifter.Lift(a, in)
+		if err != nil {
+			return nil, err
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		cur.IR = append(cur.IR, irb)
+		if in.IsCall() {
+			cs := CallSite{Caller: entry, Addr: a, Block: cur.Start}
+			if in.Op == isa.OpCall {
+				cs.Target = uint32(in.Imm)
+				if name, ok := stubName(bin, cs.Target); ok {
+					cs.ImportName = name
+				}
+			} else {
+				cs.Indirect = true
+			}
+			f.Calls = append(f.Calls, cs)
+		}
+		terminal := in.EndsBlock()
+		nextIsLeader := i+1 < len(addrs) && (leaders[addrs[i+1]] || addrs[i+1] != a+isa.Width)
+		if terminal || nextIsLeader {
+			// Successors.
+			next := a + isa.Width
+			switch {
+			case in.IsBranch():
+				cur.Succs = append(cur.Succs, uint32(in.Imm))
+				if _, ok := reach[next]; ok {
+					cur.Succs = append(cur.Succs, next)
+				}
+			case in.Op == isa.OpJmp:
+				cur.Succs = append(cur.Succs, uint32(in.Imm))
+			case in.Op == isa.OpJr:
+				cur.Succs = append(cur.Succs, extraJumps[a]...)
+			case in.Op == isa.OpRet, in.Op == isa.OpTramp:
+				// no static successors
+			default:
+				if _, ok := reach[next]; ok {
+					cur.Succs = append(cur.Succs, next)
+				}
+			}
+			flush()
+		}
+	}
+	flush()
+
+	f.Order = make([]uint32, 0, len(f.Blocks))
+	for a := range f.Blocks {
+		f.Order = append(f.Order, a)
+	}
+	sort.Slice(f.Order, func(i, j int) bool { return f.Order[i] < f.Order[j] })
+
+	// Record computed jumps and any resolutions applied.
+	f.JumpTables = map[uint32][]uint32{}
+	for _, ba := range f.Order {
+		b := f.Blocks[ba]
+		for i, in := range b.Instrs {
+			if in.Op == isa.OpJr {
+				addr := b.Start + uint32(i*isa.Width)
+				f.DynJumps = append(f.DynJumps, addr)
+				if ts := extraJumps[addr]; len(ts) > 0 {
+					f.JumpTables[addr] = append([]uint32(nil), ts...)
+				}
+			}
+		}
+	}
+	sort.Slice(f.DynJumps, func(i, j int) bool { return f.DynJumps[i] < f.DynJumps[j] })
+
+	f.Loops = findLoops(f)
+	f.Params = estimateParams(f)
+	return f, nil
+}
+
+// estimateParams counts argument registers (r0..r3) read before written,
+// scanning blocks in address order — the standard stripped-binary heuristic.
+func estimateParams(f *Function) int {
+	written := map[isa.Reg]bool{}
+	used := map[isa.Reg]bool{}
+	var scanExpr func(e ir.Expr)
+	scanExpr = func(e ir.Expr) {
+		switch e := e.(type) {
+		case ir.Get:
+			if e.R < 4 && !written[e.R] {
+				used[e.R] = true
+			}
+		case ir.Load:
+			scanExpr(e.Addr)
+		case ir.Binop:
+			scanExpr(e.L)
+			scanExpr(e.R)
+		}
+	}
+	for _, ba := range f.Order {
+		for _, irb := range f.Blocks[ba].IR {
+			for _, s := range irb.Stmts {
+				switch s := s.(type) {
+				case ir.WrTmp:
+					scanExpr(s.E)
+				case ir.Put:
+					scanExpr(s.E)
+					if s.R < 4 {
+						written[s.R] = true
+					}
+				case ir.Store:
+					scanExpr(s.Addr)
+					scanExpr(s.Val)
+				case ir.Exit:
+					scanExpr(s.Cond)
+				case ir.Call:
+					// Calls clobber r0..r3; stop attributing later reads.
+					for r := isa.Reg(0); r < 4; r++ {
+						written[r] = true
+					}
+				}
+			}
+		}
+	}
+	// Parameters are passed in order, so the count is the highest used
+	// argument register plus one.
+	n := 0
+	for r := isa.Reg(0); r < 4; r++ {
+		if used[r] {
+			n = int(r) + 1
+		}
+	}
+	return n
+}

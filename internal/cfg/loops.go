@@ -1,0 +1,150 @@
+package cfg
+
+import "sort"
+
+// findLoops computes natural loops from back edges using dominators.
+func findLoops(f *Function) []Loop {
+	idom := Dominators(f)
+	preds := predecessors(f)
+	_ = preds
+	var loops []Loop
+	for _, ba := range f.Order {
+		b := f.Blocks[ba]
+		for _, succ := range b.Succs {
+			if _, ok := f.Blocks[succ]; !ok {
+				continue
+			}
+			if dominates(idom, succ, ba) {
+				loops = append(loops, naturalLoop(f, preds, succ, ba))
+			}
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Head < loops[j].Head })
+	return loops
+}
+
+// Dominators computes the immediate dominator of every reachable block with
+// the iterative dataflow algorithm (Cooper/Harvey/Kennedy). The entry block
+// maps to itself.
+func Dominators(f *Function) map[uint32]uint32 {
+	order := reversePostorder(f)
+	index := map[uint32]int{}
+	for i, a := range order {
+		index[a] = i
+	}
+	preds := predecessors(f)
+	idom := map[uint32]uint32{f.Entry: f.Entry}
+
+	intersect := func(a, b uint32) uint32 {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom uint32
+			found := false
+			for _, p := range preds[b] {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if !found {
+					newIdom = p
+					found = true
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if !found {
+				continue
+			}
+			if cur, ok := idom[b]; !ok || cur != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates reports whether a dominates b under the idom map.
+func dominates(idom map[uint32]uint32, a, b uint32) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// naturalLoop collects the body of the loop with the given head and back
+// edge source (tail), walking predecessors from the tail until the head.
+func naturalLoop(f *Function, preds map[uint32][]uint32, head, tail uint32) Loop {
+	body := map[uint32]bool{head: true}
+	stack := []uint32{tail}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if body[n] {
+			continue
+		}
+		body[n] = true
+		stack = append(stack, preds[n]...)
+	}
+	return Loop{Head: head, Body: body}
+}
+
+// predecessors builds the reverse edge map, restricted to in-function blocks.
+func predecessors(f *Function) map[uint32][]uint32 {
+	preds := map[uint32][]uint32{}
+	for _, ba := range f.Order {
+		for _, s := range f.Blocks[ba].Succs {
+			if _, ok := f.Blocks[s]; ok {
+				preds[s] = append(preds[s], ba)
+			}
+		}
+	}
+	return preds
+}
+
+// reversePostorder returns block addresses in reverse postorder of a DFS
+// from the entry.
+func reversePostorder(f *Function) []uint32 {
+	var post []uint32
+	visited := map[uint32]bool{}
+	var dfs func(uint32)
+	dfs = func(a uint32) {
+		if visited[a] {
+			return
+		}
+		visited[a] = true
+		b, ok := f.Blocks[a]
+		if !ok {
+			return
+		}
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, a)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

@@ -1,0 +1,149 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fits/internal/binimg"
+	"fits/internal/isa"
+)
+
+// randomTextBinary builds a binary whose text is arbitrary (decodable or
+// not) bytes, as an adversarial input for function recovery.
+func randomTextBinary(r *rand.Rand) *binimg.Binary {
+	n := isa.Width * (1 + r.Intn(64))
+	text := make([]byte, n)
+	if r.Intn(2) == 0 {
+		// Valid-looking instructions with random fields.
+		for i := 0; i < n/isa.Width; i++ {
+			in := isa.Instr{
+				Op:  isa.Op(r.Intn(30)),
+				Rd:  isa.Reg(r.Intn(isa.NumRegs)),
+				Rs1: isa.Reg(r.Intn(isa.NumRegs)),
+				Rs2: isa.Reg(r.Intn(isa.NumRegs)),
+				// Bias immediates toward in-text addresses so branches and
+				// calls mostly land inside the section.
+				Imm: int32(0x10000 + isa.Width*r.Intn(n/isa.Width+8)),
+			}
+			if !in.Op.Valid() {
+				in.Op = isa.OpNop
+			}
+			isa.ArchARM.Encode(in, text[i*isa.Width:])
+		}
+	} else {
+		r.Read(text)
+	}
+	data := make([]byte, r.Intn(64))
+	r.Read(data)
+	return &binimg.Binary{
+		Name:    "fuzz",
+		Arch:    isa.ArchARM,
+		Entry:   0x10000,
+		Text:    binimg.Section{Addr: 0x10000, Data: text},
+		Rodata:  binimg.Section{Addr: 0x20000, Data: []byte("s\x00")},
+		Data:    binimg.Section{Addr: 0x30000, Data: data},
+		BssAddr: 0x40000, BssSize: 64,
+	}
+}
+
+// Property: Build never panics on adversarial text; every recovered block
+// stays inside the text section and all call-graph edges point at recovered
+// functions or import stubs.
+func TestQuickBuildOnAdversarialText(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		bin := randomTextBinary(r)
+		m, err := Build(bin, Options{})
+		if err != nil {
+			return true
+		}
+		for _, fn := range m.Funcs {
+			for _, b := range fn.Blocks {
+				if !bin.Text.Contains(b.Start) || b.End() > bin.Text.End() {
+					return false
+				}
+			}
+		}
+		for callee := range m.Callers {
+			if _, ok := m.Funcs[callee]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every function's blocks partition its instruction addresses
+// (no overlaps within a function).
+func TestQuickBlocksDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bin := randomTextBinary(r)
+		m, err := Build(bin, Options{})
+		if err != nil {
+			return true
+		}
+		for _, fn := range m.Funcs {
+			seen := map[uint32]bool{}
+			for _, b := range fn.Blocks {
+				for a := b.Start; a < b.End(); a += isa.Width {
+					if seen[a] {
+						return false
+					}
+					seen[a] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: loops found always contain their head and a back edge into it.
+func TestQuickLoopInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bin := randomTextBinary(r)
+		m, err := Build(bin, Options{})
+		if err != nil {
+			return true
+		}
+		for _, fn := range m.Funcs {
+			for _, lp := range fn.Loops {
+				if !lp.Body[lp.Head] {
+					return false
+				}
+				backEdge := false
+				for ba := range lp.Body {
+					b, ok := fn.Blocks[ba]
+					if !ok {
+						return false
+					}
+					for _, s := range b.Succs {
+						if s == lp.Head {
+							backEdge = true
+						}
+					}
+				}
+				if !backEdge {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package cluster implements the behavior-clustering stage of the inference
+// pipeline: DBSCAN over behavioral feature vectors, class complexity
+// calculation per the paper's equation (1), and candidate selection keeping
+// only classes more complex than average. It also provides the
+// dimensionality-reduction and preprocessing baselines that the paper
+// compares against in RQ4.
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"fits/internal/bfv"
+)
+
+// Point is one custom function with its feature vector.
+type Point struct {
+	Entry uint32
+	Vec   bfv.Vector
+}
+
+// Params configures DBSCAN.
+type Params struct {
+	Eps    float64 // neighborhood radius over max-normalized vectors
+	MinPts int     // core point density threshold
+}
+
+// DefaultParams are the parameters used throughout the evaluation.
+var DefaultParams = Params{Eps: 0.35, MinPts: 3}
+
+// Class is one cluster of functions.
+type Class struct {
+	Members []Point
+	// Complexity is filled by Complexities (equation 1).
+	Complexity float64
+	// Noise marks singleton classes formed from DBSCAN noise points.
+	Noise bool
+}
+
+// maxNormalize scales every dimension by its maximum over the set, so that
+// distance comparisons are not dominated by large-magnitude features.
+func maxNormalize(points []Point) [][bfv.Dim]float64 {
+	var maxes [bfv.Dim]float64
+	for _, p := range points {
+		for d := 0; d < bfv.Dim; d++ {
+			if v := math.Abs(p.Vec[d]); v > maxes[d] {
+				maxes[d] = v
+			}
+		}
+	}
+	out := make([][bfv.Dim]float64, len(points))
+	for i, p := range points {
+		for d := 0; d < bfv.Dim; d++ {
+			if maxes[d] > 0 {
+				out[i][d] = p.Vec[d] / maxes[d]
+			}
+		}
+	}
+	return out
+}
+
+func dist(a, b [bfv.Dim]float64) float64 {
+	s := 0.0
+	for d := 0; d < bfv.Dim; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// DBSCAN clusters points with the classic density-based algorithm. Noise
+// points become singleton classes marked Noise so that the complexity filter
+// still considers them.
+func DBSCAN(points []Point, params Params) []Class {
+	if params.MinPts <= 0 {
+		params = DefaultParams
+	}
+	n := len(points)
+	norm := maxNormalize(points)
+
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if dist(norm[i], norm[j]) <= params.Eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	const (
+		unvisited = 0
+		noise     = -1
+	)
+	labels := make([]int, n) // 0 unvisited, -1 noise, >0 cluster id
+	next := 1
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < params.MinPts {
+			labels[i] = noise
+			continue
+		}
+		id := next
+		next++
+		labels[i] = id
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == noise {
+				labels[j] = id // border point
+				continue
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = id
+			jn := neighbors(j)
+			if len(jn) >= params.MinPts {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+
+	byID := map[int][]Point{}
+	var noiseClasses []Class
+	for i, p := range points {
+		if labels[i] == noise {
+			noiseClasses = append(noiseClasses, Class{Members: []Point{p}, Noise: true})
+			continue
+		}
+		byID[labels[i]] = append(byID[labels[i]], p)
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Class, 0, len(ids)+len(noiseClasses))
+	for _, id := range ids {
+		members := byID[id]
+		sort.Slice(members, func(a, b int) bool { return members[a].Entry < members[b].Entry })
+		out = append(out, Class{Members: members})
+	}
+	sort.Slice(noiseClasses, func(a, b int) bool {
+		return noiseClasses[a].Members[0].Entry < noiseClasses[b].Members[0].Entry
+	})
+	return append(out, noiseClasses...)
+}
+
+// Complexities fills each class's complexity per equation (1): the mean of
+// normalized basic-block count, caller count, library-call count and
+// anchor-call count over the class members, and returns the average over
+// classes.
+func Complexities(classes []Class, all []Point) float64 {
+	dims := []int{bfv.FBasicBlocks, bfv.FCallers, bfv.FLibCalls, bfv.FAnchorCalls}
+	var maxes [bfv.Dim]float64
+	for _, p := range all {
+		for _, d := range dims {
+			if p.Vec[d] > maxes[d] {
+				maxes[d] = p.Vec[d]
+			}
+		}
+	}
+	total := 0.0
+	for i := range classes {
+		c := &classes[i]
+		sum := 0.0
+		for _, p := range c.Members {
+			for _, d := range dims {
+				if maxes[d] > 0 {
+					sum += p.Vec[d] / maxes[d]
+				}
+			}
+		}
+		if len(c.Members) > 0 {
+			c.Complexity = sum / float64(len(c.Members))
+		}
+		total += c.Complexity
+	}
+	if len(classes) == 0 {
+		return 0
+	}
+	return total / float64(len(classes))
+}
+
+// Candidates runs the full clustering stage: cluster, compute complexities,
+// and keep the members of classes whose complexity exceeds the average.
+// The returned entries are sorted.
+func Candidates(points []Point, params Params) []uint32 {
+	if len(points) == 0 {
+		return nil
+	}
+	classes := DBSCAN(points, params)
+	avg := Complexities(classes, points)
+	var out []uint32
+	for _, c := range classes {
+		if c.Complexity > avg {
+			for _, p := range c.Members {
+				out = append(out, p.Entry)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

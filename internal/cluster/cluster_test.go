@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fits/internal/bfv"
+)
+
+// mkPoints builds two well-separated groups: "complex" memory-operation-like
+// vectors and "simple" arithmetic helpers.
+func mkPoints() []Point {
+	var pts []Point
+	id := uint32(0x1000)
+	add := func(v bfv.Vector, n int) {
+		for i := 0; i < n; i++ {
+			w := v
+			w[bfv.FBasicBlocks] += float64(i % 3) // slight in-group variation
+			pts = append(pts, Point{Entry: id, Vec: w})
+			id += 0x10
+		}
+	}
+	add(bfv.Vector{15, 1, 3, 3, 4, 6, 1, 1, 1, 1, 3}, 6) // complex group
+	add(bfv.Vector{2, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0}, 8)  // simple group
+	return pts
+}
+
+func TestDBSCANSeparatesGroups(t *testing.T) {
+	classes := DBSCAN(mkPoints(), DefaultParams)
+	var real []Class
+	for _, c := range classes {
+		if !c.Noise {
+			real = append(real, c)
+		}
+	}
+	if len(real) < 2 {
+		t.Fatalf("classes = %d, want >= 2", len(real))
+	}
+	// No class may mix the two groups (complex members have anchors > 0).
+	for _, c := range real {
+		anchored := 0
+		for _, p := range c.Members {
+			if p.Vec[bfv.FAnchorCalls] > 0 {
+				anchored++
+			}
+		}
+		if anchored != 0 && anchored != len(c.Members) {
+			t.Errorf("mixed class: %d/%d anchored", anchored, len(c.Members))
+		}
+	}
+}
+
+func TestDBSCANAllPointsAccounted(t *testing.T) {
+	pts := mkPoints()
+	classes := DBSCAN(pts, DefaultParams)
+	total := 0
+	seen := map[uint32]bool{}
+	for _, c := range classes {
+		for _, p := range c.Members {
+			if seen[p.Entry] {
+				t.Errorf("point %#x in two classes", p.Entry)
+			}
+			seen[p.Entry] = true
+			total++
+		}
+	}
+	if total != len(pts) {
+		t.Errorf("clustered %d of %d points", total, len(pts))
+	}
+}
+
+func TestNoisePointsBecomeSingletons(t *testing.T) {
+	pts := mkPoints()
+	// An extreme outlier becomes noise.
+	pts = append(pts, Point{Entry: 0x9999, Vec: bfv.Vector{500, 1, 400, 4, 90, 99, 1, 1, 1, 1, 50}})
+	classes := DBSCAN(pts, DefaultParams)
+	var noise int
+	for _, c := range classes {
+		if c.Noise {
+			noise++
+			if len(c.Members) != 1 {
+				t.Errorf("noise class size = %d", len(c.Members))
+			}
+		}
+	}
+	if noise == 0 {
+		t.Error("no noise singletons produced")
+	}
+}
+
+func TestComplexityFilterKeepsComplexClass(t *testing.T) {
+	pts := mkPoints()
+	cands := Candidates(pts, DefaultParams)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	byEntry := map[uint32]bfv.Vector{}
+	for _, p := range pts {
+		byEntry[p.Entry] = p.Vec
+	}
+	for _, e := range cands {
+		if byEntry[e][bfv.FAnchorCalls] == 0 {
+			t.Errorf("simple function %#x survived the complexity filter", e)
+		}
+	}
+	// All complex-group members survive.
+	kept := map[uint32]bool{}
+	for _, e := range cands {
+		kept[e] = true
+	}
+	for _, p := range pts {
+		if p.Vec[bfv.FAnchorCalls] > 0 && !kept[p.Entry] {
+			t.Errorf("complex function %#x filtered out", p.Entry)
+		}
+	}
+}
+
+func TestComplexityEquationNormalized(t *testing.T) {
+	pts := []Point{
+		{Entry: 1, Vec: bfv.Vector{10, 0, 10, 0, 10, 10, 0, 0, 0, 0, 0}},
+		{Entry: 2, Vec: bfv.Vector{5, 0, 5, 0, 5, 5, 0, 0, 0, 0, 0}},
+	}
+	classes := []Class{{Members: pts[:1]}, {Members: pts[1:]}}
+	avg := Complexities(classes, pts)
+	// First class: all four dims at max -> 4.0; second: all at half -> 2.0.
+	if math.Abs(classes[0].Complexity-4) > 1e-9 || math.Abs(classes[1].Complexity-2) > 1e-9 {
+		t.Errorf("complexities = %v %v", classes[0].Complexity, classes[1].Complexity)
+	}
+	if math.Abs(avg-3) > 1e-9 {
+		t.Errorf("avg = %v", avg)
+	}
+}
+
+func TestCandidatesEmptyInput(t *testing.T) {
+	if got := Candidates(nil, DefaultParams); got != nil {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	vecs := []bfv.Vector{{2, 0, 4}, {4, 0, 8}}
+	out := Standardize(vecs)
+	// Constant dimension stays zero; others become +-1.
+	if out[0][1] != 0 || out[1][1] != 0 {
+		t.Error("constant dim not zeroed")
+	}
+	if math.Abs(out[0][0]+1) > 1e-9 || math.Abs(out[1][0]-1) > 1e-9 {
+		t.Errorf("standardize = %v", out)
+	}
+	if Standardize(nil) != nil {
+		t.Error("nil input should yield nil")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	vecs := []bfv.Vector{{2, 10}, {4, 5}}
+	out := Normalize(vecs)
+	if out[0][0] != 0.5 || out[1][0] != 1 || out[0][1] != 1 || out[1][1] != 0.5 {
+		t.Errorf("normalize = %v", out)
+	}
+}
+
+func TestPCAVarianceOrdering(t *testing.T) {
+	// Points vary strongly along dim 0, weakly along dim 5.
+	r := rand.New(rand.NewSource(1))
+	var vecs []bfv.Vector
+	for i := 0; i < 40; i++ {
+		var v bfv.Vector
+		v[0] = r.Float64() * 100
+		v[5] = r.Float64()
+		vecs = append(vecs, v)
+	}
+	out := PCA(vecs, 2)
+	if len(out) != len(vecs) {
+		t.Fatalf("len = %d", len(out))
+	}
+	var var0, var1 float64
+	for _, v := range out {
+		var0 += v[0] * v[0]
+		var1 += v[1] * v[1]
+	}
+	if var0 <= var1 {
+		t.Errorf("first component variance %g <= second %g", var0, var1)
+	}
+	// Trailing dims zero.
+	for _, v := range out {
+		for d := 2; d < bfv.Dim; d++ {
+			if v[d] != 0 {
+				t.Fatalf("dim %d not zero", d)
+			}
+		}
+	}
+	if PCA(nil, 2) != nil || PCA(vecs, 0) != nil {
+		t.Error("degenerate inputs should yield nil")
+	}
+}
+
+// Property: DBSCAN is a partition for random inputs and Candidates is a
+// subset of the input entries.
+func TestQuickPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			var v bfv.Vector
+			for d := 0; d < bfv.Dim; d++ {
+				v[d] = float64(r.Intn(20))
+			}
+			pts[i] = Point{Entry: uint32(i + 1), Vec: v}
+		}
+		classes := DBSCAN(pts, DefaultParams)
+		seen := map[uint32]bool{}
+		for _, c := range classes {
+			for _, p := range c.Members {
+				if seen[p.Entry] {
+					return false
+				}
+				seen[p.Entry] = true
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, e := range Candidates(pts, DefaultParams) {
+			if !seen[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"math"
+
+	"fits/internal/bfv"
+)
+
+// The functions below implement the alternative strategies the paper
+// evaluates in RQ4 as replacements for the clustering stage: principal
+// component analysis, z-score standardization and max normalization applied
+// to the feature vectors before direct scoring.
+
+// Standardize z-scores every dimension across the set (zero mean, unit
+// variance). Dimensions with zero variance become zero.
+func Standardize(vecs []bfv.Vector) []bfv.Vector {
+	n := len(vecs)
+	if n == 0 {
+		return nil
+	}
+	var mean, std [bfv.Dim]float64
+	for _, v := range vecs {
+		for d := 0; d < bfv.Dim; d++ {
+			mean[d] += v[d]
+		}
+	}
+	for d := 0; d < bfv.Dim; d++ {
+		mean[d] /= float64(n)
+	}
+	for _, v := range vecs {
+		for d := 0; d < bfv.Dim; d++ {
+			diff := v[d] - mean[d]
+			std[d] += diff * diff
+		}
+	}
+	out := make([]bfv.Vector, n)
+	for d := 0; d < bfv.Dim; d++ {
+		std[d] = math.Sqrt(std[d] / float64(n))
+	}
+	for i, v := range vecs {
+		for d := 0; d < bfv.Dim; d++ {
+			if std[d] > 0 {
+				out[i][d] = (v[d] - mean[d]) / std[d]
+			}
+		}
+	}
+	return out
+}
+
+// Normalize scales every dimension by its maximum absolute value.
+func Normalize(vecs []bfv.Vector) []bfv.Vector {
+	var maxes [bfv.Dim]float64
+	for _, v := range vecs {
+		for d := 0; d < bfv.Dim; d++ {
+			if a := math.Abs(v[d]); a > maxes[d] {
+				maxes[d] = a
+			}
+		}
+	}
+	out := make([]bfv.Vector, len(vecs))
+	for i, v := range vecs {
+		for d := 0; d < bfv.Dim; d++ {
+			if maxes[d] > 0 {
+				out[i][d] = v[d] / maxes[d]
+			}
+		}
+	}
+	return out
+}
+
+// PCA projects the vectors onto their top-k principal components using
+// covariance power iteration with deflation. The result keeps bfv.Vector
+// shape with trailing dimensions zeroed, so downstream scoring code is
+// unchanged.
+func PCA(vecs []bfv.Vector, k int) []bfv.Vector {
+	n := len(vecs)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > bfv.Dim {
+		k = bfv.Dim
+	}
+	// Center.
+	var mean [bfv.Dim]float64
+	for _, v := range vecs {
+		for d := 0; d < bfv.Dim; d++ {
+			mean[d] += v[d]
+		}
+	}
+	for d := 0; d < bfv.Dim; d++ {
+		mean[d] /= float64(n)
+	}
+	centered := make([][bfv.Dim]float64, n)
+	for i, v := range vecs {
+		for d := 0; d < bfv.Dim; d++ {
+			centered[i][d] = v[d] - mean[d]
+		}
+	}
+	// Covariance matrix.
+	var cov [bfv.Dim][bfv.Dim]float64
+	for _, c := range centered {
+		for i := 0; i < bfv.Dim; i++ {
+			for j := 0; j < bfv.Dim; j++ {
+				cov[i][j] += c[i] * c[j]
+			}
+		}
+	}
+	for i := 0; i < bfv.Dim; i++ {
+		for j := 0; j < bfv.Dim; j++ {
+			cov[i][j] /= float64(n)
+		}
+	}
+	// Power iteration with deflation for the top-k eigenvectors.
+	comps := make([][bfv.Dim]float64, 0, k)
+	work := cov
+	for c := 0; c < k; c++ {
+		var v [bfv.Dim]float64
+		// Deterministic start vector.
+		for d := 0; d < bfv.Dim; d++ {
+			v[d] = 1 / float64(d+1)
+		}
+		var lambda float64
+		for iter := 0; iter < 200; iter++ {
+			var nv [bfv.Dim]float64
+			for i := 0; i < bfv.Dim; i++ {
+				for j := 0; j < bfv.Dim; j++ {
+					nv[i] += work[i][j] * v[j]
+				}
+			}
+			norm := 0.0
+			for d := 0; d < bfv.Dim; d++ {
+				norm += nv[d] * nv[d]
+			}
+			norm = math.Sqrt(norm)
+			if norm < 1e-12 {
+				break
+			}
+			for d := 0; d < bfv.Dim; d++ {
+				nv[d] /= norm
+			}
+			lambda = norm
+			v = nv
+		}
+		comps = append(comps, v)
+		// Deflate.
+		for i := 0; i < bfv.Dim; i++ {
+			for j := 0; j < bfv.Dim; j++ {
+				work[i][j] -= lambda * v[i] * v[j]
+			}
+		}
+	}
+	// Project.
+	out := make([]bfv.Vector, n)
+	for i, c := range centered {
+		for ci, comp := range comps {
+			s := 0.0
+			for d := 0; d < bfv.Dim; d++ {
+				s += c[d] * comp[d]
+			}
+			out[i][ci] = s
+		}
+	}
+	return out
+}

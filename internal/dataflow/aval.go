@@ -1,0 +1,93 @@
+// Package dataflow implements the two program analyses behind the flow
+// features of the behavioral feature vector:
+//
+//   - a reaching-definition style forward dataflow over the IR that tracks
+//     which locations (registers and stack slots) carry values derived from
+//     the function's parameters — the data dependency graph (DDG) of the
+//     paper's Algorithm 1 — answering whether parameters control loops,
+//     control branches, or flow into anchor-function arguments; and
+//
+//   - call-site analysis with the backtracking rules of the paper's Table 2,
+//     classifying arguments at every call site of a function as string
+//     constants by chasing registers back to constants and resolving them
+//     against the rodata/data sections (including GOT-style indirection).
+package dataflow
+
+import "fits/internal/isa"
+
+// ParamMask is a bit set of parameter indices (bit i = parameter i).
+type ParamMask uint8
+
+// Has reports whether any bit is set.
+func (m ParamMask) Has() bool { return m != 0 }
+
+// ValKind classifies an abstract value.
+type ValKind uint8
+
+// Abstract value kinds: a known constant, a stack-pointer-relative address,
+// or an arbitrary value.
+const (
+	KTop ValKind = iota
+	KConst
+	KSPRel
+)
+
+// AVal is the abstract value of the reaching-definition analysis: an
+// optional shape (constant or SP-relative) plus the parameter taint carried.
+type AVal struct {
+	Kind  ValKind
+	C     int32 // constant value or SP offset
+	Taint ParamMask
+}
+
+func top(t ParamMask) AVal { return AVal{Kind: KTop, Taint: t} }
+
+// merge joins two abstract values at a control-flow merge point.
+func merge(a, b AVal) AVal {
+	t := a.Taint | b.Taint
+	if a.Kind == b.Kind && a.C == b.C {
+		return AVal{Kind: a.Kind, C: a.C, Taint: t}
+	}
+	return top(t)
+}
+
+// loc is an abstract storage location: a register or a stack slot keyed by
+// its offset from the function-entry stack pointer.
+type loc struct {
+	reg   isa.Reg // valid when isReg
+	isReg bool
+	slot  int32 // SP-entry-relative offset
+}
+
+func regLoc(r isa.Reg) loc  { return loc{isReg: true, reg: r} }
+func slotLoc(off int32) loc { return loc{slot: off} }
+
+// absState maps locations to abstract values. Missing locations are
+// untainted Top.
+type absState map[loc]AVal
+
+func (s absState) clone() absState {
+	ns := make(absState, len(s))
+	for k, v := range s {
+		ns[k] = v
+	}
+	return ns
+}
+
+// join merges another state into s, reporting whether s changed.
+func (s absState) join(o absState) bool {
+	changed := false
+	for k, v := range o {
+		if cur, ok := s[k]; ok {
+			nv := merge(cur, v)
+			if nv != cur {
+				s[k] = nv
+				changed = true
+			}
+		} else {
+			s[k] = v
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,279 @@
+package dataflow
+
+import (
+	"sort"
+
+	"fits/internal/cfg"
+	"fits/internal/ir"
+	"fits/internal/isa"
+)
+
+// The paper's Algorithm 1 performs reaching definition analysis "to form the
+// data dependency graph (DDG)" through which parameter influence is traced.
+// This file exposes that graph explicitly: definitions are instructions that
+// write a location (register or stack slot), uses are instructions that read
+// one, and an edge connects a definition to a use it reaches.
+
+// DefUse is one data-dependency edge: the definition at Def reaches the use
+// at Use through the given location.
+type DefUse struct {
+	Def uint32 // instruction address writing the location
+	Use uint32 // instruction address reading it
+	Loc string // "r3" or "sp+12"
+}
+
+// DDG is a function's data dependency graph.
+type DDG struct {
+	Edges []DefUse
+}
+
+// UsesOf returns the uses reached by the definition at addr.
+func (g *DDG) UsesOf(def uint32) []uint32 {
+	var out []uint32
+	for _, e := range g.Edges {
+		if e.Def == def {
+			out = append(out, e.Use)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DefsOf returns the definitions reaching the use at addr.
+func (g *DDG) DefsOf(use uint32) []uint32 {
+	var out []uint32
+	for _, e := range g.Edges {
+		if e.Use == use {
+			out = append(out, e.Def)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ddgLoc keys a location: register or entry-SP-relative slot.
+type ddgLoc struct {
+	isReg bool
+	reg   isa.Reg
+	slot  int32
+}
+
+func (l ddgLoc) String() string {
+	if l.isReg {
+		return l.reg.String()
+	}
+	if l.slot >= 0 {
+		return "sp+" + itoa(int(l.slot))
+	}
+	return "sp-" + itoa(int(-l.slot))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// defSet is the reaching-definition set per location.
+type defSet map[ddgLoc]map[uint32]bool
+
+func (s defSet) clone() defSet {
+	ns := make(defSet, len(s))
+	for l, defs := range s {
+		nd := make(map[uint32]bool, len(defs))
+		for d := range defs {
+			nd[d] = true
+		}
+		ns[l] = nd
+	}
+	return ns
+}
+
+func (s defSet) join(o defSet) bool {
+	changed := false
+	for l, defs := range o {
+		cur, ok := s[l]
+		if !ok {
+			cur = map[uint32]bool{}
+			s[l] = cur
+		}
+		for d := range defs {
+			if !cur[d] {
+				cur[d] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// BuildDDG computes the reaching-definition def-use graph of a function.
+// Parameter spills and the entry state use the function entry address as the
+// pseudo-definition site.
+func BuildDDG(fn *cfg.Function) *DDG {
+	// Fixpoint over blocks.
+	in := map[uint32]defSet{fn.Entry: entryDefs(fn)}
+	work := []uint32{fn.Entry}
+	inWork := map[uint32]bool{fn.Entry: true}
+	for iters := 0; len(work) > 0 && iters < 4096; iters++ {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		blk := fn.Blocks[b]
+		if blk == nil {
+			continue
+		}
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		out := transferDDG(blk, st.clone(), nil)
+		for _, succ := range blk.Succs {
+			if _, ok := fn.Blocks[succ]; !ok {
+				continue
+			}
+			cur, ok := in[succ]
+			if !ok {
+				in[succ] = out.clone()
+			} else if !cur.join(out) {
+				continue
+			}
+			if !inWork[succ] {
+				work = append(work, succ)
+				inWork[succ] = true
+			}
+		}
+	}
+
+	// Recording pass.
+	g := &DDG{}
+	seen := map[DefUse]bool{}
+	record := func(e DefUse) {
+		if !seen[e] {
+			seen[e] = true
+			g.Edges = append(g.Edges, e)
+		}
+	}
+	for _, ba := range fn.Order {
+		st, ok := in[ba]
+		if !ok {
+			continue
+		}
+		transferDDG(fn.Blocks[ba], st.clone(), record)
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.Def != b.Def {
+			return a.Def < b.Def
+		}
+		if a.Use != b.Use {
+			return a.Use < b.Use
+		}
+		return a.Loc < b.Loc
+	})
+	return g
+}
+
+func entryDefs(fn *cfg.Function) defSet {
+	s := defSet{}
+	for i := 0; i < fn.Params && i < 4; i++ {
+		s[ddgLoc{isReg: true, reg: isa.Reg(i)}] = map[uint32]bool{fn.Entry: true}
+	}
+	s[ddgLoc{isReg: true, reg: isa.SP}] = map[uint32]bool{fn.Entry: true}
+	return s
+}
+
+// transferDDG interprets one block; record (when non-nil) receives def-use
+// edges as uses are evaluated.
+func transferDDG(blk *cfg.BasicBlock, st defSet, record func(DefUse)) defSet {
+	// Track SP-relative shapes of temporaries so slot locations resolve.
+	type shape struct {
+		isSP  bool
+		off   int32
+		known bool
+	}
+	for _, irb := range blk.IR {
+		temps := map[ir.Temp]shape{}
+		use := func(l ddgLoc) {
+			if record == nil {
+				return
+			}
+			for d := range st[l] {
+				record(DefUse{Def: d, Use: irb.Addr, Loc: l.String()})
+			}
+		}
+		def := func(l ddgLoc) {
+			st[l] = map[uint32]bool{irb.Addr: true}
+		}
+		var evalShape func(e ir.Expr) shape
+		evalShape = func(e ir.Expr) shape {
+			switch e := e.(type) {
+			case ir.Const:
+				return shape{known: true}
+			case ir.Get:
+				use(ddgLoc{isReg: true, reg: e.R})
+				if e.R == isa.SP {
+					return shape{isSP: true, known: true}
+				}
+				return shape{}
+			case ir.RdTmp:
+				return temps[e.T]
+			case ir.Binop:
+				l := evalShape(e.L)
+				r := evalShape(e.R)
+				if e.Op == ir.Add && l.isSP {
+					if c, ok := e.R.(ir.Const); ok {
+						return shape{isSP: true, off: l.off + int32(c.V), known: true}
+					}
+				}
+				_ = r
+				return shape{}
+			case ir.Load:
+				a := evalShape(e.Addr)
+				if a.isSP {
+					use(ddgLoc{slot: a.off})
+				}
+				return shape{}
+			}
+			return shape{}
+		}
+		for _, s := range irb.Stmts {
+			switch s := s.(type) {
+			case ir.WrTmp:
+				temps[s.T] = evalShape(s.E)
+			case ir.Put:
+				evalShape(s.E)
+				def(ddgLoc{isReg: true, reg: s.R})
+			case ir.Store:
+				evalShape(s.Val)
+				a := evalShape(s.Addr)
+				if a.isSP {
+					def(ddgLoc{slot: a.off})
+				}
+			case ir.Exit:
+				evalShape(s.Cond)
+			case ir.Call:
+				// Calls consume the argument registers and redefine the
+				// caller-saved set.
+				for r := isa.Reg(0); r < 4; r++ {
+					use(ddgLoc{isReg: true, reg: r})
+				}
+				for r := isa.Reg(0); r < 4; r++ {
+					def(ddgLoc{isReg: true, reg: r})
+				}
+				def(ddgLoc{isReg: true, reg: isa.LR})
+			case ir.Sys:
+				def(ddgLoc{isReg: true, reg: isa.R0})
+			}
+		}
+	}
+	return st
+}

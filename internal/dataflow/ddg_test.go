@@ -1,0 +1,163 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"fits/internal/isa"
+	"fits/internal/minic"
+)
+
+func TestDDGStraightLine(t *testing.T) {
+	// f(p0) { x := p0 + 1; return x }
+	p := &minic.Program{Name: "t", Funcs: []*minic.Func{{
+		Name: "f", NParams: 1,
+		Body: []minic.Stmt{
+			minic.Let{Name: "x", E: minic.Add(minic.Var("p0"), minic.Int(1))},
+			minic.Return{E: minic.Var("x")},
+		},
+	}}}
+	bin, m := buildModel(t, p)
+	fn := fnNamed(t, bin, m, "f")
+	g := BuildDDG(fn)
+	if len(g.Edges) == 0 {
+		t.Fatal("empty DDG")
+	}
+	// The entry pseudo-definition of r0 (the parameter) must reach a use.
+	uses := g.UsesOf(fn.Entry)
+	if len(uses) == 0 {
+		t.Fatal("parameter definition reaches no use")
+	}
+	// Every use site must have at least one incoming definition, and both
+	// ends of every edge must lie inside the function (or at its entry).
+	for _, e := range g.Edges {
+		if e.Loc == "" {
+			t.Fatal("edge without location")
+		}
+		inFn := func(a uint32) bool {
+			for _, ba := range fn.Order {
+				b := fn.Blocks[ba]
+				if a >= b.Start && a < b.End() {
+					return true
+				}
+			}
+			return a == fn.Entry
+		}
+		if !inFn(e.Def) || !inFn(e.Use) {
+			t.Fatalf("edge outside function: %+v", e)
+		}
+	}
+}
+
+func TestDDGThroughStackSlot(t *testing.T) {
+	// A value defined in one statement and used two statements later flows
+	// through its stack slot: the slot's def-use edge must exist.
+	p := &minic.Program{Name: "t", Funcs: []*minic.Func{{
+		Name: "f", NParams: 1,
+		Body: []minic.Stmt{
+			minic.Let{Name: "x", E: minic.Int(7)},
+			minic.Let{Name: "y", E: minic.Int(9)},
+			minic.Return{E: minic.Add(minic.Var("x"), minic.Var("y"))},
+		},
+	}}}
+	bin, m := buildModel(t, p)
+	fn := fnNamed(t, bin, m, "f")
+	g := BuildDDG(fn)
+	slotEdges := 0
+	for _, e := range g.Edges {
+		if strings.HasPrefix(e.Loc, "sp") {
+			slotEdges++
+		}
+	}
+	if slotEdges < 2 {
+		t.Errorf("stack-slot edges = %d, want >= 2", slotEdges)
+	}
+}
+
+func TestDDGMergePoint(t *testing.T) {
+	// Both branch arms define x; the use after the merge must see both
+	// definitions (the essence of reaching definitions).
+	p := &minic.Program{Name: "t", Funcs: []*minic.Func{{
+		Name: "f", NParams: 1,
+		Body: []minic.Stmt{
+			minic.Let{Name: "x", E: minic.Int(0)},
+			minic.If{Cond: minic.Cond{Op: minic.Gt, L: minic.Var("p0"), R: minic.Int(0)},
+				Then: []minic.Stmt{minic.Assign{Name: "x", E: minic.Int(1)}},
+				Else: []minic.Stmt{minic.Assign{Name: "x", E: minic.Int(2)}}},
+			minic.Return{E: minic.Var("x")},
+		},
+	}}}
+	bin, m := buildModel(t, p)
+	fn := fnNamed(t, bin, m, "f")
+	g := BuildDDG(fn)
+	// Find the slot location used by the final read of x: it must have at
+	// least two reaching definitions (one per arm).
+	maxDefs := 0
+	byUse := map[uint32]map[string]int{}
+	for _, e := range g.Edges {
+		if !strings.HasPrefix(e.Loc, "sp") {
+			continue
+		}
+		if byUse[e.Use] == nil {
+			byUse[e.Use] = map[string]int{}
+		}
+		byUse[e.Use][e.Loc]++
+		if n := byUse[e.Use][e.Loc]; n > maxDefs {
+			maxDefs = n
+		}
+	}
+	if maxDefs < 2 {
+		t.Errorf("no merged use sees multiple reaching definitions (max %d)", maxDefs)
+	}
+}
+
+func TestDDGCallClobbersArgs(t *testing.T) {
+	// After a call, a use of r0 must depend on the call, not on the
+	// pre-call argument setup.
+	p := &minic.Program{Name: "t", Funcs: []*minic.Func{
+		{Name: "g", NParams: 1, Body: []minic.Stmt{minic.Return{E: minic.Var("p0")}}},
+		{Name: "f", NParams: 1, Body: []minic.Stmt{
+			minic.Return{E: minic.Call{Name: "g", Args: []minic.Expr{minic.Var("p0")}}},
+		}},
+	}}
+	bin, m := buildModel(t, p)
+	fn := fnNamed(t, bin, m, "f")
+	g := BuildDDG(fn)
+	// Locate the call instruction.
+	var callAddr uint32
+	for _, ba := range fn.Order {
+		b := fn.Blocks[ba]
+		for i, in := range b.Instrs {
+			if in.Op == isa.OpCall {
+				callAddr = b.Start + uint32(i*8)
+			}
+		}
+	}
+	if callAddr == 0 {
+		t.Fatal("no call instruction")
+	}
+	if len(g.UsesOf(callAddr)) == 0 {
+		t.Error("call's r0 definition has no uses")
+	}
+	// r0 uses after the call must not be reached by pre-call movs.
+	for _, e := range g.Edges {
+		if e.Loc == "r0" && e.Use > callAddr && e.Def < callAddr && e.Def != fn.Entry {
+			t.Errorf("stale r0 definition %#x reaches post-call use %#x", e.Def, e.Use)
+		}
+	}
+}
+
+func TestDDGDeterministic(t *testing.T) {
+	bin, m := buildModel(t, callSiteProgram())
+	fn := fnNamed(t, bin, m, "getvar")
+	a := BuildDDG(fn)
+	b := BuildDDG(fn)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+}

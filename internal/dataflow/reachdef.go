@@ -1,0 +1,274 @@
+package dataflow
+
+import (
+	"fits/internal/cfg"
+	"fits/internal/ir"
+	"fits/internal/isa"
+)
+
+// FlowFacts are the intraprocedural flow features of one function: how its
+// parameters influence control flow and anchor calls (Table 1, features 7-9),
+// plus whether a parameter-derived value can reach the return register,
+// which the ITS verification oracle uses.
+type FlowFacts struct {
+	ParamControlsLoop   bool
+	ParamControlsBranch bool
+	ParamToAnchor       bool
+	TaintedReturn       bool
+}
+
+// AnchorInfo describes a call target recognized as an anchor function.
+type AnchorInfo struct {
+	Arity  int
+	Anchor bool
+}
+
+// AnchorFunc classifies a call site; the loader provides an implementation
+// that matches import names against the anchor set.
+type AnchorFunc func(cs cfg.CallSite) AnchorInfo
+
+// globLoc returns the location for a global (absolute) address.
+func globLoc(addr uint32) loc { return loc{slot: int32(addr), isReg: false, reg: 0xff} }
+
+// Analyze runs the reaching-definition taint dataflow over fn and extracts
+// its flow facts. anchors may be nil when anchor classification is not
+// needed.
+func Analyze(fn *cfg.Function, anchors AnchorFunc) FlowFacts {
+	a := &analyzer{fn: fn, anchors: anchors}
+	return a.run()
+}
+
+type analyzer struct {
+	fn      *cfg.Function
+	anchors AnchorFunc
+	facts   FlowFacts
+	record  bool
+	inLoop  map[uint32]bool
+	// callsAt maps call instruction addresses to their sites.
+	callsAt map[uint32][]cfg.CallSite
+}
+
+func (a *analyzer) run() FlowFacts {
+	a.inLoop = map[uint32]bool{}
+	for _, lp := range a.fn.Loops {
+		for b := range lp.Body {
+			a.inLoop[b] = true
+		}
+	}
+	a.callsAt = map[uint32][]cfg.CallSite{}
+	for _, cs := range a.fn.Calls {
+		a.callsAt[cs.Addr] = append(a.callsAt[cs.Addr], cs)
+	}
+
+	entry := absState{}
+	for i := 0; i < a.fn.Params && i < 4; i++ {
+		entry[regLoc(isa.Reg(i))] = AVal{Kind: KTop, Taint: ParamMask(1 << i)}
+	}
+	entry[regLoc(isa.SP)] = AVal{Kind: KSPRel, C: 0}
+
+	in := map[uint32]absState{a.fn.Entry: entry}
+	work := []uint32{a.fn.Entry}
+	inWork := map[uint32]bool{a.fn.Entry: true}
+	const maxIters = 4096
+	for iters := 0; len(work) > 0 && iters < maxIters; iters++ {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		blk, ok := a.fn.Blocks[b]
+		if !ok {
+			continue
+		}
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		out := a.transfer(blk, st.clone())
+		for _, succ := range blk.Succs {
+			if _, ok := a.fn.Blocks[succ]; !ok {
+				continue
+			}
+			cur, ok := in[succ]
+			if !ok {
+				in[succ] = out.clone()
+			} else if !cur.join(out) {
+				continue
+			}
+			if !inWork[succ] {
+				work = append(work, succ)
+				inWork[succ] = true
+			}
+		}
+	}
+
+	// Final recording pass over the fixed point.
+	a.record = true
+	for _, ba := range a.fn.Order {
+		st, ok := in[ba]
+		if !ok {
+			continue
+		}
+		a.transfer(a.fn.Blocks[ba], st.clone())
+	}
+	return a.facts
+}
+
+// transfer interprets one basic block over an abstract state.
+func (a *analyzer) transfer(blk *cfg.BasicBlock, st absState) absState {
+	temps := map[ir.Temp]AVal{}
+	get := func(l loc) AVal {
+		if v, ok := st[l]; ok {
+			return v
+		}
+		return AVal{Kind: KTop}
+	}
+	var eval func(e ir.Expr) AVal
+	eval = func(e ir.Expr) AVal {
+		switch e := e.(type) {
+		case ir.Const:
+			return AVal{Kind: KConst, C: int32(e.V)}
+		case ir.RdTmp:
+			if v, ok := temps[e.T]; ok {
+				return v
+			}
+			return AVal{Kind: KTop}
+		case ir.Get:
+			return get(regLoc(e.R))
+		case ir.Binop:
+			l, r := eval(e.L), eval(e.R)
+			t := l.Taint | r.Taint
+			switch {
+			case l.Kind == KConst && r.Kind == KConst:
+				return AVal{Kind: KConst, C: foldConst(e.Op, l.C, r.C), Taint: t}
+			case e.Op == ir.Add && l.Kind == KSPRel && r.Kind == KConst:
+				return AVal{Kind: KSPRel, C: l.C + r.C, Taint: t}
+			case e.Op == ir.Add && l.Kind == KConst && r.Kind == KSPRel:
+				return AVal{Kind: KSPRel, C: r.C + l.C, Taint: t}
+			case e.Op == ir.Sub && l.Kind == KSPRel && r.Kind == KConst:
+				return AVal{Kind: KSPRel, C: l.C - r.C, Taint: t}
+			}
+			return top(t)
+		case ir.Load:
+			addr := eval(e.Addr)
+			switch addr.Kind {
+			case KSPRel:
+				v := get(slotLoc(addr.C))
+				v.Taint |= addr.Taint
+				return v
+			case KConst:
+				v := get(globLoc(uint32(addr.C)))
+				v.Taint |= addr.Taint
+				return AVal{Kind: KTop, Taint: v.Taint}
+			}
+			// Dereferencing a parameter-derived pointer yields
+			// parameter-derived data.
+			return top(addr.Taint)
+		}
+		return AVal{Kind: KTop}
+	}
+
+	for _, irb := range blk.IR {
+		for _, s := range irb.Stmts {
+			switch s := s.(type) {
+			case ir.WrTmp:
+				temps[s.T] = eval(s.E)
+			case ir.Put:
+				st[regLoc(s.R)] = eval(s.E)
+			case ir.Store:
+				addr := eval(s.Addr)
+				val := eval(s.Val)
+				switch addr.Kind {
+				case KSPRel:
+					st[slotLoc(addr.C)] = val
+				case KConst:
+					st[globLoc(uint32(addr.C))] = val
+				}
+			case ir.Exit:
+				if a.record {
+					cond := eval(s.Cond)
+					if cond.Taint.Has() {
+						a.facts.ParamControlsBranch = true
+						if a.inLoop[blk.Start] {
+							a.facts.ParamControlsLoop = true
+						}
+					}
+				}
+			case ir.Call:
+				if a.record && a.anchors != nil {
+					for _, cs := range a.callsAt[irb.Addr] {
+						info := a.anchors(cs)
+						if !info.Anchor {
+							continue
+						}
+						for i := 0; i < info.Arity && i < 4; i++ {
+							if get(regLoc(isa.Reg(i))).Taint.Has() {
+								a.facts.ParamToAnchor = true
+							}
+						}
+					}
+				}
+				// Calls clobber the argument registers; the return value
+				// inherits the arguments' taint (data returned by callees
+				// such as anchors derives from what was passed in).
+				var t ParamMask
+				for i := isa.Reg(0); i < 4; i++ {
+					t |= get(regLoc(i)).Taint
+				}
+				for i := isa.Reg(0); i < 4; i++ {
+					st[regLoc(i)] = AVal{Kind: KTop}
+				}
+				st[regLoc(isa.R0)] = top(t)
+				st[regLoc(isa.LR)] = AVal{Kind: KTop}
+			case ir.Ret:
+				if a.record && get(regLoc(isa.R0)).Taint.Has() {
+					a.facts.TaintedReturn = true
+				}
+			case ir.Sys:
+				st[regLoc(isa.R0)] = AVal{Kind: KTop}
+			}
+		}
+	}
+	return st
+}
+
+func foldConst(op ir.BinOp, a, b int32) int32 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return int32(uint32(a) << (uint32(b) & 31))
+	case ir.Shr:
+		return int32(uint32(a) >> (uint32(b) & 31))
+	case ir.CmpEQ:
+		if a == b {
+			return 1
+		}
+	case ir.CmpNE:
+		if a != b {
+			return 1
+		}
+	case ir.CmpLT:
+		if a < b {
+			return 1
+		}
+	case ir.CmpGE:
+		if a >= b {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,314 @@
+// Package emu executes binaries of the synthetic corpus instruction by
+// instruction. It is the reproduction's stand-in for firmware rehosting
+// (paper Appendix A): generated binaries are run under emulation both to
+// validate the compiler and to verify inferred intermediate taint sources
+// dynamically, by observing what a candidate function reads and returns.
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"fits/internal/binimg"
+	"fits/internal/isa"
+)
+
+// Execution limits and the emulated stack placement.
+const (
+	DefaultMaxSteps = 1 << 20
+	StackTop        = 0xff000000
+	stackSize       = 1 << 20
+)
+
+// Execution errors.
+var (
+	ErrMaxSteps  = errors.New("emu: step limit exceeded")
+	ErrBadAccess = errors.New("emu: bad memory access")
+	ErrBadPC     = errors.New("emu: program counter outside text")
+	ErrNoHandler = errors.New("emu: unhandled import")
+	ErrHalted    = errors.New("emu: machine halted")
+)
+
+// ImportFunc emulates one library function natively: it may read and write
+// machine state and must leave any result in r0.
+type ImportFunc func(m *Machine) error
+
+// Machine is a single-binary execution context with natively emulated
+// imports.
+type Machine struct {
+	Bin      *binimg.Binary
+	Regs     [isa.NumRegs]uint32
+	PC       uint32
+	MaxSteps int
+	Steps    int
+
+	// Imports maps import names to native implementations.
+	Imports map[string]ImportFunc
+	// Sys handles OpSys primitives by number.
+	Sys func(m *Machine, num int32) error
+
+	mem     map[uint32]byte
+	halted  bool
+	retSent uint32 // sentinel return address that terminates execution
+}
+
+// New prepares a machine for bin with an empty import table.
+func New(bin *binimg.Binary) *Machine {
+	m := &Machine{
+		Bin:      bin,
+		MaxSteps: DefaultMaxSteps,
+		Imports:  map[string]ImportFunc{},
+		mem:      map[uint32]byte{},
+		retSent:  0xdeadbeec,
+	}
+	m.Regs[isa.SP] = StackTop
+	return m
+}
+
+// LoadByte reads one byte of emulated memory, falling back to section
+// contents for addresses never written.
+func (m *Machine) LoadByte(addr uint32) (byte, error) {
+	if b, ok := m.mem[addr]; ok {
+		return b, nil
+	}
+	if b, ok := m.Bin.ByteAt(addr); ok {
+		return b, nil
+	}
+	// bss and stack read as zero.
+	if m.Bin.SectionOf(addr) == "bss" || m.inStack(addr) {
+		return 0, nil
+	}
+	return 0, fmt.Errorf("%w: read 0x%x", ErrBadAccess, addr)
+}
+
+func (m *Machine) inStack(addr uint32) bool {
+	return addr > StackTop-stackSize && addr <= StackTop
+}
+
+// StoreByte writes one byte of emulated memory.
+func (m *Machine) StoreByte(addr uint32, v byte) error {
+	switch {
+	case m.Bin.SectionOf(addr) == "text", m.Bin.SectionOf(addr) == "rodata":
+		return fmt.Errorf("%w: write to read-only 0x%x", ErrBadAccess, addr)
+	case m.Bin.SectionOf(addr) != "" || m.inStack(addr):
+		m.mem[addr] = v
+		return nil
+	}
+	return fmt.Errorf("%w: write 0x%x", ErrBadAccess, addr)
+}
+
+// LoadWord reads a little-endian word.
+func (m *Machine) LoadWord(addr uint32) (uint32, error) {
+	var buf [isa.WordSize]byte
+	for i := range buf {
+		b, err := m.LoadByte(addr + uint32(i))
+		if err != nil {
+			return 0, err
+		}
+		buf[i] = b
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// StoreWord writes a little-endian word.
+func (m *Machine) StoreWord(addr uint32, v uint32) error {
+	var buf [isa.WordSize]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	for i := range buf {
+		if err := m.StoreByte(addr+uint32(i), buf[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoreBytes copies a buffer into emulated memory.
+func (m *Machine) StoreBytes(addr uint32, data []byte) error {
+	for i, b := range data {
+		if err := m.StoreByte(addr+uint32(i), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string from emulated memory, bounded.
+func (m *Machine) ReadCString(addr uint32, max int) (string, error) {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b, err := m.LoadByte(addr + uint32(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out), nil
+}
+
+// CallFunction runs the function at addr with up to four arguments and
+// returns r0 on completion. Machine state persists across calls, so globals
+// written by one call are visible to the next.
+func (m *Machine) CallFunction(addr uint32, args ...uint32) (uint32, error) {
+	if len(args) > 4 {
+		return 0, fmt.Errorf("emu: %d args; max 4", len(args))
+	}
+	for i, a := range args {
+		m.Regs[i] = a
+	}
+	m.Regs[isa.LR] = m.retSent
+	m.PC = addr
+	m.halted = false
+	if err := m.run(); err != nil {
+		return 0, err
+	}
+	return m.Regs[isa.R0], nil
+}
+
+func (m *Machine) run() error {
+	for {
+		if m.PC == m.retSent {
+			return nil
+		}
+		if m.halted {
+			return ErrHalted
+		}
+		if m.Steps >= m.MaxSteps {
+			return ErrMaxSteps
+		}
+		m.Steps++
+		in, err := m.Bin.InstrAt(m.PC)
+		if err != nil {
+			return fmt.Errorf("%w: 0x%x", ErrBadPC, m.PC)
+		}
+		if err := m.step(in); err != nil {
+			return fmt.Errorf("at 0x%x (%v): %w", m.PC, in, err)
+		}
+	}
+}
+
+// Halt stops execution after the current instruction.
+func (m *Machine) Halt() { m.halted = true }
+
+func (m *Machine) step(in isa.Instr) error {
+	next := m.PC + isa.Width
+	r := &m.Regs
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpMovi:
+		r[in.Rd] = uint32(in.Imm)
+	case isa.OpMov:
+		r[in.Rd] = r[in.Rs1]
+	case isa.OpAdd:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case isa.OpSub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case isa.OpMul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case isa.OpDiv:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = uint32(int32(r[in.Rs1]) / int32(r[in.Rs2]))
+		}
+	case isa.OpAnd:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case isa.OpOr:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case isa.OpXor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case isa.OpShl:
+		r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 31)
+	case isa.OpShr:
+		r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 31)
+	case isa.OpAddi:
+		r[in.Rd] = r[in.Rs1] + uint32(in.Imm)
+	case isa.OpLdb:
+		b, err := m.LoadByte(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = uint32(b)
+	case isa.OpLdw:
+		w, err := m.LoadWord(r[in.Rs1] + uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = w
+	case isa.OpStb:
+		if err := m.StoreByte(r[in.Rs1]+uint32(in.Imm), byte(r[in.Rs2])); err != nil {
+			return err
+		}
+	case isa.OpStw:
+		if err := m.StoreWord(r[in.Rs1]+uint32(in.Imm), r[in.Rs2]); err != nil {
+			return err
+		}
+	case isa.OpBeq:
+		if r[in.Rs1] == r[in.Rs2] {
+			next = uint32(in.Imm)
+		}
+	case isa.OpBne:
+		if r[in.Rs1] != r[in.Rs2] {
+			next = uint32(in.Imm)
+		}
+	case isa.OpBlt:
+		if int32(r[in.Rs1]) < int32(r[in.Rs2]) {
+			next = uint32(in.Imm)
+		}
+	case isa.OpBge:
+		if int32(r[in.Rs1]) >= int32(r[in.Rs2]) {
+			next = uint32(in.Imm)
+		}
+	case isa.OpJmp:
+		next = uint32(in.Imm)
+	case isa.OpJr:
+		next = r[in.Rs1]
+	case isa.OpCall:
+		r[isa.LR] = next
+		next = uint32(in.Imm)
+	case isa.OpCallr:
+		r[isa.LR] = next
+		next = r[in.Rs1]
+	case isa.OpRet:
+		next = r[isa.LR]
+	case isa.OpPush:
+		r[isa.SP] -= isa.WordSize
+		if err := m.StoreWord(r[isa.SP], r[in.Rs1]); err != nil {
+			return err
+		}
+	case isa.OpPop:
+		w, err := m.LoadWord(r[isa.SP])
+		if err != nil {
+			return err
+		}
+		r[in.Rd] = w
+		r[isa.SP] += isa.WordSize
+	case isa.OpSys:
+		if m.Sys == nil {
+			return fmt.Errorf("emu: no sys handler for %d", in.Imm)
+		}
+		if err := m.Sys(m, in.Imm); err != nil {
+			return err
+		}
+	case isa.OpTramp:
+		im, ok := m.Bin.ImportForGOT(uint32(in.Imm))
+		if !ok {
+			return fmt.Errorf("%w: no import for GOT 0x%x", ErrNoHandler, in.Imm)
+		}
+		fn, ok := m.Imports[im.Name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoHandler, im.Name)
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+		next = r[isa.LR] // trampoline returns directly to the caller
+	default:
+		return fmt.Errorf("emu: cannot execute %v", in.Op)
+	}
+	m.PC = next
+	return nil
+}

@@ -1,0 +1,205 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"fits/internal/binimg"
+	"fits/internal/isa"
+)
+
+// makeBin assembles a tiny ARM-flavor binary from instructions.
+func makeBin(ins []isa.Instr) *binimg.Binary {
+	return &binimg.Binary{
+		Name:    "t",
+		Arch:    isa.ArchARM,
+		Text:    binimg.Section{Addr: 0x1000, Data: isa.ArchARM.EncodeAll(ins)},
+		Rodata:  binimg.Section{Addr: 0x2000, Data: []byte("hi\x00")},
+		Data:    binimg.Section{Addr: 0x3000, Data: make([]byte, 8)},
+		BssAddr: 0x4000,
+		BssSize: 32,
+	}
+}
+
+func TestSimpleExecution(t *testing.T) {
+	m := New(makeBin([]isa.Instr{
+		{Op: isa.OpMovi, Rd: isa.R1, Imm: 20},
+		{Op: isa.OpMovi, Rd: isa.R2, Imm: 22},
+		{Op: isa.OpAdd, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.OpRet},
+	}))
+	got, err := m.CallFunction(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("got %d", got)
+	}
+	if m.Steps != 4 {
+		t.Errorf("steps = %d", m.Steps)
+	}
+}
+
+func TestMemoryRules(t *testing.T) {
+	m := New(makeBin([]isa.Instr{{Op: isa.OpRet}}))
+	// Rodata readable, not writable.
+	if b, err := m.LoadByte(0x2000); err != nil || b != 'h' {
+		t.Errorf("rodata read = %v, %v", b, err)
+	}
+	if err := m.StoreByte(0x2000, 1); err == nil {
+		t.Error("rodata write should fail")
+	}
+	if err := m.StoreByte(0x1000, 1); err == nil {
+		t.Error("text write should fail")
+	}
+	// Bss reads as zero, then remembers writes.
+	if b, err := m.LoadByte(0x4000); err != nil || b != 0 {
+		t.Errorf("bss read = %v, %v", b, err)
+	}
+	if err := m.StoreByte(0x4000, 9); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := m.LoadByte(0x4000); b != 9 {
+		t.Errorf("bss readback = %d", b)
+	}
+	// Stack works.
+	if err := m.StoreWord(StackTop-8, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := m.LoadWord(StackTop - 8); w != 0x12345678 {
+		t.Errorf("stack readback = %#x", w)
+	}
+	// Unmapped fails both ways.
+	if _, err := m.LoadByte(0x900000); err == nil {
+		t.Error("unmapped read should fail")
+	}
+	if err := m.StoreByte(0x900000, 1); err == nil {
+		t.Error("unmapped write should fail")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := New(makeBin([]isa.Instr{{Op: isa.OpJmp, Imm: 0x1000}}))
+	m.MaxSteps = 100
+	_, err := m.CallFunction(0x1000)
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBadPC(t *testing.T) {
+	m := New(makeBin([]isa.Instr{{Op: isa.OpJmp, Imm: 0x7777}}))
+	if _, err := m.CallFunction(0x1000); !errors.Is(err, ErrBadPC) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnhandledImport(t *testing.T) {
+	bin := makeBin([]isa.Instr{{Op: isa.OpTramp, Imm: 0x3000}})
+	bin.Imports = []binimg.Import{{Name: "recv", Stub: 0x1000, GOT: 0x3000}}
+	m := New(bin)
+	if _, err := m.CallFunction(0x1000); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("err = %v", err)
+	}
+	// Unknown GOT slot also fails.
+	bin2 := makeBin([]isa.Instr{{Op: isa.OpTramp, Imm: 0x3004}})
+	bin2.Imports = []binimg.Import{{Name: "recv", Stub: 0x1000, GOT: 0x3000}}
+	if _, err := New(bin2).CallFunction(0x1000); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestImportDispatch(t *testing.T) {
+	bin := makeBin([]isa.Instr{
+		{Op: isa.OpPush, Rs1: isa.LR},
+		{Op: isa.OpMovi, Rd: isa.R0, Imm: 5},
+		{Op: isa.OpCall, Imm: 0x1000 + 5*isa.Width}, // stub
+		{Op: isa.OpPop, Rd: isa.LR},
+		{Op: isa.OpRet},
+		{Op: isa.OpTramp, Imm: 0x3000},
+	})
+	bin.Imports = []binimg.Import{{Name: "double", Stub: 0x1000 + 5*isa.Width, GOT: 0x3000}}
+	m := New(bin)
+	m.Imports["double"] = func(m *Machine) error {
+		m.Regs[isa.R0] *= 2
+		return nil
+	}
+	got, err := m.CallFunction(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestSysHandler(t *testing.T) {
+	m := New(makeBin([]isa.Instr{{Op: isa.OpSys, Imm: 7}, {Op: isa.OpRet}}))
+	if _, err := m.CallFunction(0x1000); err == nil {
+		t.Error("sys without handler should fail")
+	}
+	m = New(makeBin([]isa.Instr{{Op: isa.OpSys, Imm: 7}, {Op: isa.OpRet}}))
+	var gotNum int32
+	m.Sys = func(m *Machine, num int32) error {
+		gotNum = num
+		m.Regs[isa.R0] = 1
+		return nil
+	}
+	v, err := m.CallFunction(0x1000)
+	if err != nil || v != 1 || gotNum != 7 {
+		t.Errorf("v=%d num=%d err=%v", v, gotNum, err)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	m := New(makeBin([]isa.Instr{{Op: isa.OpSys, Imm: 1}, {Op: isa.OpJmp, Imm: 0x1000}}))
+	m.Sys = func(m *Machine, num int32) error {
+		m.Halt()
+		return nil
+	}
+	if _, err := m.CallFunction(0x1000); !errors.Is(err, ErrHalted) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	m := New(makeBin([]isa.Instr{{Op: isa.OpRet}}))
+	s, err := m.ReadCString(0x2000, 64)
+	if err != nil || s != "hi" {
+		t.Errorf("s=%q err=%v", s, err)
+	}
+	// Bounded read stops at max.
+	s, err = m.ReadCString(0x2000, 1)
+	if err != nil || s != "h" {
+		t.Errorf("bounded s=%q err=%v", s, err)
+	}
+}
+
+func TestStoreBytesAndDivByZero(t *testing.T) {
+	m := New(makeBin([]isa.Instr{
+		{Op: isa.OpMovi, Rd: isa.R1, Imm: 10},
+		{Op: isa.OpMovi, Rd: isa.R2, Imm: 0},
+		{Op: isa.OpDiv, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+		{Op: isa.OpRet},
+	}))
+	if err := m.StoreBytes(0x4000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := m.LoadByte(0x4002); b != 3 {
+		t.Errorf("byte = %d", b)
+	}
+	got, err := m.CallFunction(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("div by zero = %d, want 0", got)
+	}
+}
+
+func TestTooManyArgs(t *testing.T) {
+	m := New(makeBin([]isa.Instr{{Op: isa.OpRet}}))
+	if _, err := m.CallFunction(0x1000, 1, 2, 3, 4, 5); err == nil {
+		t.Error("expected error for 5 args")
+	}
+}

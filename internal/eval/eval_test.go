@@ -1,0 +1,221 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"fits/internal/infer"
+	"fits/internal/synth"
+)
+
+var (
+	corpusOnce sync.Once
+	corpus     []*synth.Sample
+	corpusErr  error
+)
+
+func testCorpus(t *testing.T) []*synth.Sample {
+	t.Helper()
+	corpusOnce.Do(func() { corpus, corpusErr = synth.GenerateCorpus() })
+	if corpusErr != nil {
+		t.Fatal(corpusErr)
+	}
+	return corpus
+}
+
+func TestTable3ShapeMatchesPaper(t *testing.T) {
+	results := RunInferenceCorpus(testCorpus(t), infer.DefaultConfig())
+	t1, t2, t3 := OverallPrecision(results)
+	// Paper: 47% / 63% / 89%. Require the shape within tolerance.
+	if t3 < 0.80 || t3 > 0.97 {
+		t.Errorf("top-3 = %.0f%%, want ~89%%", 100*t3)
+	}
+	if !(t1 < t2 && t2 < t3) {
+		t.Errorf("precision not increasing: %v %v %v", t1, t2, t3)
+	}
+	if t1 < 0.35 || t1 > 0.60 {
+		t.Errorf("top-1 = %.0f%%, want ~47%%", 100*t1)
+	}
+
+	// Exactly the six engineered failures miss top-3... or near it.
+	misses := 0
+	for _, r := range results {
+		if !r.TopN(3) {
+			misses++
+			if r.Manifest.FailureMode == "" {
+				t.Logf("unexpected miss: %s %s rank=%d", r.Manifest.Vendor, r.Manifest.Product, r.ITSRank)
+			}
+		}
+	}
+	if misses < 6 || misses > 9 {
+		t.Errorf("top-3 misses = %d, want 6..9", misses)
+	}
+
+	rows := Table3(results)
+	if rows[len(rows)-1].Dataset != "Average" {
+		t.Error("missing average row")
+	}
+	out := FormatTable3(rows)
+	for _, want := range []string{"NETGEAR", "Cisco", "Average", "Top-3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestEngineeredFailuresAlwaysMiss(t *testing.T) {
+	for _, s := range testCorpus(t) {
+		if s.Manifest.FailureMode == "" {
+			continue
+		}
+		r := RunInference(s, infer.DefaultConfig())
+		if r.TopN(3) {
+			t.Errorf("%s sample %s unexpectedly succeeded", s.Manifest.FailureMode, s.Manifest.Product)
+		}
+		if s.Manifest.FailureMode == "preprocess-miss" && r.LoadErr == nil {
+			t.Errorf("preprocess-miss %s loaded successfully", s.Manifest.Product)
+		}
+	}
+}
+
+func TestTable4Detail(t *testing.T) {
+	rows := Table4(testCorpus(t)[:25], 2)
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NumFuncs < 50 {
+			t.Errorf("%s: functions = %d", r.Firmware, r.NumFuncs)
+		}
+		if r.Ranking > 0 && r.ITSAddr == 0 {
+			t.Errorf("%s: ranked but no address", r.Firmware)
+		}
+	}
+	if !strings.Contains(FormatTable4(rows), "Ranking") {
+		t.Error("format missing header")
+	}
+}
+
+func TestTable5And6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus bug finding is slow")
+	}
+	rows, ta, tb := Table5(testCorpus(t))
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Integrating ITSs must increase bug counts for both engines.
+	if tb[EngineKaronteITS] <= tb[EngineKaronte] {
+		t.Errorf("Karonte-ITS bugs %d <= Karonte %d", tb[EngineKaronteITS], tb[EngineKaronte])
+	}
+	if tb[EngineSTAITS] <= tb[EngineSTA]*4 {
+		t.Errorf("STA-ITS bugs %d should dwarf STA %d", tb[EngineSTAITS], tb[EngineSTA])
+	}
+	fp := FalsePositiveRates(ta, tb)
+	// STA's classical-source FP rate is far above STA-ITS's (77% vs 28%).
+	if fp[EngineSTA] < fp[EngineSTAITS]+0.2 {
+		t.Errorf("STA FP %.2f should exceed STA-ITS FP %.2f by a wide margin", fp[EngineSTA], fp[EngineSTAITS])
+	}
+	if fp[EngineSTA] < 0.6 || fp[EngineSTA] > 0.95 {
+		t.Errorf("STA FP = %.2f, want ~0.77", fp[EngineSTA])
+	}
+	out := FormatTable5(rows, ta, tb)
+	if !strings.Contains(out, "Total") {
+		t.Error("format missing totals")
+	}
+}
+
+func TestEngineKindHelpers(t *testing.T) {
+	if EngineKaronte.WithITS() || EngineSTA.WithITS() {
+		t.Error("base engines should not use ITS")
+	}
+	if !EngineKaronteITS.WithITS() || !EngineSTAITS.WithITS() {
+		t.Error("ITS engines misreport")
+	}
+	for k := EngineKaronte; k <= EngineSTAITS; k++ {
+		if k.String() == "engine" {
+			t.Errorf("engine %d unnamed", k)
+		}
+	}
+}
+
+func TestFigure4TrendPositive(t *testing.T) {
+	points := Figure4(testCorpus(t)[:20])
+	if len(points) < 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	byFuncs := Correlation(points, func(p TimePoint) float64 { return float64(p.Funcs) })
+	bySize := Correlation(points, func(p TimePoint) float64 { return p.SizeKB })
+	if byFuncs < 0.3 {
+		t.Errorf("corr(time, funcs) = %.2f, want positive trend", byFuncs)
+	}
+	if bySize < 0.3 {
+		t.Errorf("corr(time, size) = %.2f, want positive trend", bySize)
+	}
+}
+
+func TestTable7RepresentationGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows := Table7(testCorpus(t))
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	bfvRow := byName["BFV"]
+	if bfvRow.Top3 < 0.8 {
+		t.Errorf("BFV top-3 = %.2f", bfvRow.Top3)
+	}
+	for _, base := range []string{"Augmented-CFG", "Attributed-CFG"} {
+		if byName[base].Top3 > bfvRow.Top3-0.4 {
+			t.Errorf("%s top-3 %.2f too close to BFV %.2f", base, byName[base].Top3, bfvRow.Top3)
+		}
+	}
+}
+
+func TestTable8CosineWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rows := Table8(testCorpus(t))
+	var cosine AblationRow
+	for _, r := range rows {
+		if r.Name == "cosine" {
+			cosine = r
+		}
+	}
+	for _, r := range rows {
+		if r.Name == "cosine" {
+			continue
+		}
+		if r.Top3 > cosine.Top3 {
+			t.Errorf("%s top-3 %.2f beats cosine %.2f", r.Name, r.Top3, cosine.Top3)
+		}
+	}
+}
+
+func TestBootStompFindsNoSources(t *testing.T) {
+	_, correct := BootStompBaseline(testCorpus(t)[:15])
+	if correct != 0 {
+		t.Errorf("keyword baseline found %d sources, want 0", correct)
+	}
+}
+
+func TestCaseStudyDeepFlow(t *testing.T) {
+	deepest := DeepestSamples(testCorpus(t))[0]
+	cs := RunCaseStudy(deepest)
+	if cs.CTSDepth < 10 {
+		t.Errorf("deepest flow CTS depth = %d, want >= 10", cs.CTSDepth)
+	}
+	if cs.ITSDepth >= cs.CTSDepth {
+		t.Errorf("ITS depth %d should be far below CTS depth %d", cs.ITSDepth, cs.CTSDepth)
+	}
+	if !cs.STAITS {
+		t.Error("STA-ITS should reach the deepest flow")
+	}
+	if cs.KaronteCTS {
+		t.Error("budgeted symbolic engine should not reach the deepest flow from classical sources")
+	}
+}

@@ -1,0 +1,347 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fits/internal/altrep"
+	"fits/internal/bfv"
+	"fits/internal/infer"
+	"fits/internal/loader"
+	"fits/internal/score"
+	"fits/internal/synth"
+)
+
+// ---- Table 4: partial per-firmware inference details ----
+
+// DetailRow is one row of Table 4.
+type DetailRow struct {
+	Vendor   string
+	Firmware string
+	Binary   string
+	NumFuncs int
+	ITSAddr  uint32
+	Ranking  int // 1-based; 0 = not ranked
+}
+
+// Table4 reports per-firmware detail for a selection of samples: the
+// analyzed binary, its recovered function count, the verified ITS address
+// and its rank.
+func Table4(samples []*synth.Sample, maxPerVendor int) []DetailRow {
+	perVendor := map[string]int{}
+	var rows []DetailRow
+	for _, s := range samples {
+		if s.Manifest.FailureMode != "" {
+			continue
+		}
+		if perVendor[s.Manifest.Vendor] >= maxPerVendor {
+			continue
+		}
+		r := RunInference(s, infer.DefaultConfig())
+		if len(r.Rankings) == 0 {
+			continue
+		}
+		perVendor[s.Manifest.Vendor]++
+		// Report the target whose ranking carries the best-placed ITS
+		// (for multi-binary firmware this is sometimes the CGI helper,
+		// as in the paper's Table 4).
+		best := r.Rankings[0]
+		bestRank := 0
+		var bestAddr uint32
+		for _, rk := range r.Rankings {
+			truth := map[uint32]bool{}
+			for _, its := range s.Manifest.ITS {
+				if its.Binary == rk.Binary {
+					truth[its.Entry] = true
+				}
+			}
+			for i, e := range rk.Ranked {
+				if truth[e.Entry] {
+					if bestRank == 0 || i+1 < bestRank {
+						best, bestRank, bestAddr = rk, i+1, e.Entry
+					}
+					break
+				}
+			}
+		}
+		rows = append(rows, DetailRow{
+			Vendor:   s.Manifest.Vendor,
+			Firmware: s.Manifest.Product + "-" + s.Manifest.Version,
+			Binary:   best.Binary,
+			NumFuncs: best.NumFuncs,
+			ITSAddr:  bestAddr,
+			Ranking:  bestRank,
+		})
+	}
+	return rows
+}
+
+// FormatTable4 renders Table 4 rows.
+func FormatTable4(rows []DetailRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-22s %-10s %8s %10s %8s\n",
+		"Vendor", "Firmware", "Binary", "#Funcs", "ITS addr", "Ranking")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-22s %-10s %8d %#10x %8d\n",
+			r.Vendor, r.Firmware, r.Binary, r.NumFuncs, r.ITSAddr, r.Ranking)
+	}
+	return b.String()
+}
+
+// ---- Figure 4: analysis time vs. binary properties ----
+
+// TimePoint is one firmware's analysis cost datum.
+type TimePoint struct {
+	Funcs   int
+	SizeKB  float64
+	Elapsed time.Duration
+}
+
+// Figure4 measures inference time against function count and binary size.
+func Figure4(samples []*synth.Sample) []TimePoint {
+	var out []TimePoint
+	for _, s := range samples {
+		if s.Manifest.FailureMode == "preprocess-miss" {
+			continue
+		}
+		start := time.Now()
+		res, err := loader.Load(s.Packed, loader.Options{})
+		if err != nil {
+			continue
+		}
+		rankings := infer.InferAll(res, infer.DefaultConfig())
+		elapsed := time.Since(start)
+		funcs := 0
+		size := 0
+		for i, t := range res.Targets {
+			funcs += rankings[i].NumFuncs
+			size += t.Bin.Size()
+		}
+		out = append(out, TimePoint{Funcs: funcs, SizeKB: float64(size) / 1024, Elapsed: elapsed})
+	}
+	return out
+}
+
+// Correlation computes the Pearson correlation of xs against analysis time.
+func Correlation(points []TimePoint, x func(TimePoint) float64) float64 {
+	n := float64(len(points))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for _, p := range points {
+		mx += x(p)
+		my += p.Elapsed.Seconds()
+	}
+	mx /= n
+	my /= n
+	var cov, vx, vy float64
+	for _, p := range points {
+		dx, dy := x(p)-mx, p.Elapsed.Seconds()-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / (sqrt(vx) * sqrt(vy))
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// ---- Figure 5: BFV ablation (CF-1 .. CF-11) ----
+
+// AblationRow is one variant's corpus-wide precision.
+type AblationRow struct {
+	Name string
+	Top1 float64
+	Top2 float64
+	Top3 float64
+}
+
+// Figure5 reruns inference with each single feature removed.
+func Figure5(samples []*synth.Sample) []AblationRow {
+	var rows []AblationRow
+	full := RunInferenceCorpus(samples, infer.DefaultConfig())
+	t1, t2, t3 := OverallPrecision(full)
+	rows = append(rows, AblationRow{Name: "BFV", Top1: t1, Top2: t2, Top3: t3})
+	for f := 0; f < bfv.Dim; f++ {
+		cfgn := infer.DefaultConfig()
+		cfgn.DropFeature = f
+		res := RunInferenceCorpus(samples, cfgn)
+		t1, t2, t3 := OverallPrecision(res)
+		rows = append(rows, AblationRow{
+			Name: fmt.Sprintf("CF-%d (%s)", f+1, bfv.FeatureNames[f]),
+			Top1: t1, Top2: t2, Top3: t3,
+		})
+	}
+	return rows
+}
+
+// ---- Table 7: representation comparison ----
+
+// Table7 compares BFV against the Augmented-CFG and Attributed-CFG
+// baselines.
+func Table7(samples []*synth.Sample) []AblationRow {
+	var rows []AblationRow
+	for _, rep := range []infer.Representation{
+		infer.RepAugmentedCFG, infer.RepAttributedCFG, infer.RepBFV,
+	} {
+		cfgn := infer.DefaultConfig()
+		cfgn.Representation = rep
+		res := RunInferenceCorpus(samples, cfgn)
+		t1, t2, t3 := OverallPrecision(res)
+		rows = append(rows, AblationRow{Name: rep.String(), Top1: t1, Top2: t2, Top3: t3})
+	}
+	return rows
+}
+
+// ---- Table 8: distance metric comparison ----
+
+// Table8 compares the similarity metrics for the scoring stage.
+func Table8(samples []*synth.Sample) []AblationRow {
+	var rows []AblationRow
+	for _, m := range []score.Metric{score.Euclidean, score.Manhattan, score.Pearson, score.Cosine} {
+		cfgn := infer.DefaultConfig()
+		cfgn.Metric = m
+		res := RunInferenceCorpus(samples, cfgn)
+		t1, t2, t3 := OverallPrecision(res)
+		rows = append(rows, AblationRow{Name: m.String(), Top1: t1, Top2: t2, Top3: t3})
+	}
+	return rows
+}
+
+// ---- RQ4: candidate-selection strategy baselines ----
+
+// RQ4Strategies compares clustering against no-clustering and the
+// preprocessing replacements.
+func RQ4Strategies(samples []*synth.Sample) []AblationRow {
+	var rows []AblationRow
+	for _, st := range []infer.Strategy{
+		infer.StrategyNone, infer.StrategyPCA, infer.StrategyStandardize,
+		infer.StrategyNormalize, infer.StrategyCluster,
+	} {
+		cfgn := infer.DefaultConfig()
+		cfgn.Strategy = st
+		res := RunInferenceCorpus(samples, cfgn)
+		t1, t2, t3 := OverallPrecision(res)
+		rows = append(rows, AblationRow{Name: st.String(), Top1: t1, Top2: t2, Top3: t3})
+	}
+	return rows
+}
+
+// FormatAblation renders variant precision rows.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s %6s %6s\n", "Variant", "Top-1", "Top-2", "Top-3")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %5.0f%% %5.0f%% %5.0f%%\n", r.Name, 100*r.Top1, 100*r.Top2, 100*r.Top3)
+	}
+	return b.String()
+}
+
+// ---- RQ1 comparison: BootStomp-style inference ----
+
+// BootStompBaseline counts, across the corpus, firmware where the keyword
+// heuristic proposes any taint source and where a proposal is a true ITS.
+func BootStompBaseline(samples []*synth.Sample) (proposed, correct int) {
+	for _, s := range samples {
+		res, err := loader.Load(s.Packed, loader.Options{})
+		if err != nil {
+			continue
+		}
+		truth := map[uint32]bool{}
+		for _, its := range s.Manifest.ITS {
+			truth[its.Entry] = true
+		}
+		any, hit := false, false
+		for _, t := range res.Targets {
+			for _, entry := range altrep.BootStomp(t.Bin, t.Model) {
+				any = true
+				if truth[entry] {
+					hit = true
+				}
+			}
+		}
+		if any {
+			proposed++
+		}
+		if hit {
+			correct++
+		}
+	}
+	return proposed, correct
+}
+
+// ---- Case study: the deep-flow CVE-2022-20825 analogue ----
+
+// CaseStudy reproduces the paper's §4.3 case study on the Cisco sample: the
+// distances from classical source and intermediate source to the deepest
+// sink, and which engines reach it.
+type CaseStudy struct {
+	Product    string
+	CTSDepth   int
+	ITSDepth   int
+	KaronteCTS bool // found by budgeted symbolic engine from CTS
+	KaronteITS bool
+	STACTS     bool
+	STAITS     bool
+}
+
+// RunCaseStudy finds the deepest planted flow in the given sample and checks
+// which engine configurations report it.
+func RunCaseStudy(s *synth.Sample) CaseStudy {
+	cs := CaseStudy{Product: s.Manifest.Product}
+	var deepest *synth.HandlerTruth
+	for i := range s.Manifest.Handlers {
+		h := &s.Manifest.Handlers[i]
+		if !h.Category.Vulnerable() {
+			continue
+		}
+		if deepest == nil || h.CTSDepth > deepest.CTSDepth {
+			deepest = h
+		}
+	}
+	if deepest == nil {
+		return cs
+	}
+	cs.CTSDepth = deepest.CTSDepth
+	cs.ITSDepth = deepest.ITSDepth
+	check := func(kind EngineKind) bool {
+		r := RunBugEngine(s, kind)
+		return r.FoundFlows[deepest.SinkEntry]
+	}
+	cs.KaronteCTS = check(EngineKaronte)
+	cs.KaronteITS = check(EngineKaronteITS)
+	cs.STACTS = check(EngineSTA)
+	cs.STAITS = check(EngineSTAITS)
+	return cs
+}
+
+// DeepestSamples returns samples ordered by their deepest vulnerable flow.
+func DeepestSamples(samples []*synth.Sample) []*synth.Sample {
+	out := append([]*synth.Sample(nil), samples...)
+	depth := func(s *synth.Sample) int {
+		d := 0
+		for _, h := range s.Manifest.Handlers {
+			if h.Category.Vulnerable() && h.CTSDepth > d {
+				d = h.CTSDepth
+			}
+		}
+		return d
+	}
+	sort.Slice(out, func(i, j int) bool { return depth(out[i]) > depth(out[j]) })
+	return out
+}

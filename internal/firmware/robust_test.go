@@ -1,0 +1,76 @@
+package firmware
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Unpack never panics on arbitrary byte streams.
+func TestQuickUnpackNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		buf := make([]byte, r.Intn(1024))
+		r.Read(buf)
+		// Sprinkle magics at random offsets to reach the deeper parsers.
+		for _, m := range [][]byte{MagicFS, MagicXOR, MagicStream} {
+			if len(buf) > len(m)+4 && r.Intn(2) == 0 {
+				copy(buf[r.Intn(len(buf)-len(m)):], m)
+			}
+		}
+		img, err := Unpack(buf)
+		return err != nil || img != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncating a packed image anywhere yields an error, not a panic.
+func TestQuickUnpackTruncations(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeNone, SchemeXOR, SchemeStream} {
+		raw := sample().Pack(PackOptions{Scheme: scheme, Key: 42})
+		for cut := 0; cut < len(raw); cut += 3 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v: panic at cut %d: %v", scheme, cut, r)
+					}
+				}()
+				if img, err := Unpack(raw[:cut]); err == nil && img == nil {
+					t.Fatalf("%v: nil image with nil error at cut %d", scheme, cut)
+				}
+			}()
+		}
+	}
+}
+
+// Property: corrupting the ciphertext of an encrypted image is detected by
+// the checksum (never silently accepted with altered contents).
+func TestQuickCiphertextCorruptionDetected(t *testing.T) {
+	im := sample()
+	r := rand.New(rand.NewSource(3))
+	for _, scheme := range []Scheme{SchemeXOR, SchemeStream} {
+		raw := im.Pack(PackOptions{Scheme: scheme, Key: 99})
+		for i := 0; i < 200; i++ {
+			mut := append([]byte(nil), raw...)
+			// Corrupt within the payload area (past the wrapper header).
+			pos := 16 + r.Intn(len(mut)-16)
+			mut[pos] ^= byte(1 + r.Intn(255))
+			got, err := Unpack(mut)
+			if err != nil {
+				continue
+			}
+			// A successful unpack must decode to the original content
+			// (the flipped byte can only be in trailing slack).
+			if got.Vendor != im.Vendor || len(got.Files) != len(im.Files) {
+				t.Fatalf("%v: corruption at %d silently accepted", scheme, pos)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package infer is the complete ITS inference pipeline of the paper's
+// Algorithm 2: extract behavioral representations for the target's custom
+// functions and the dependency libraries' anchor functions, select
+// candidates by behavior clustering with the complexity filter, and rank
+// candidates by similarity to the anchor matrix.
+//
+// Every stage is switchable to the paper's baselines (RQ3 representations,
+// RQ4 strategies and metrics, feature ablations), so the evaluation harness
+// drives one code path for all experiments.
+package infer
+
+import (
+	"fmt"
+	"sort"
+
+	"fits/internal/altrep"
+	"fits/internal/bfv"
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+	"fits/internal/cluster"
+	"fits/internal/dataflow"
+	"fits/internal/loader"
+	"fits/internal/score"
+)
+
+// Representation selects the function representation.
+type Representation uint8
+
+// Representations: BFV is the paper's; the others are RQ3 baselines.
+const (
+	RepBFV Representation = iota
+	RepAugmentedCFG
+	RepAttributedCFG
+)
+
+func (r Representation) String() string {
+	switch r {
+	case RepBFV:
+		return "BFV"
+	case RepAugmentedCFG:
+		return "Augmented-CFG"
+	case RepAttributedCFG:
+		return "Attributed-CFG"
+	}
+	return fmt.Sprintf("rep(%d)", uint8(r))
+}
+
+// Strategy selects the candidate-selection stage.
+type Strategy uint8
+
+// Strategies: clustering is the paper's; the others are RQ4 baselines that
+// replace clustering with direct scoring after optional preprocessing.
+const (
+	StrategyCluster Strategy = iota
+	StrategyNone
+	StrategyPCA
+	StrategyStandardize
+	StrategyNormalize
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyCluster:
+		return "cluster"
+	case StrategyNone:
+		return "none"
+	case StrategyPCA:
+		return "pca"
+	case StrategyStandardize:
+		return "standardize"
+	case StrategyNormalize:
+		return "normalize"
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// Config selects every pipeline variant.
+type Config struct {
+	Representation Representation
+	Strategy       Strategy
+	Metric         score.Metric
+	// DropFeature removes one BFV dimension (ablation); -1 keeps all.
+	DropFeature int
+	DBSCAN      cluster.Params
+	// PCAComponents for StrategyPCA.
+	PCAComponents int
+}
+
+// DefaultConfig is the paper's configuration: BFV + clustering + cosine.
+func DefaultConfig() Config {
+	return Config{
+		Representation: RepBFV,
+		Strategy:       StrategyCluster,
+		Metric:         score.Cosine,
+		DropFeature:    -1,
+		DBSCAN:         cluster.DefaultParams,
+		PCAComponents:  4,
+	}
+}
+
+// Ranking is the inference result for one target binary.
+type Ranking struct {
+	Path   string
+	Binary string
+	Ranked []score.Ranked
+	// Diagnostics.
+	NumFuncs      int
+	NumCandidates int
+	NumAnchors    int
+}
+
+// Top returns the first k ranked entries.
+func (r *Ranking) Top(k int) []score.Ranked {
+	if k > len(r.Ranked) {
+		k = len(r.Ranked)
+	}
+	return r.Ranked[:k]
+}
+
+// vectorFor computes one function's representation vector.
+func vectorFor(rep Representation, ex *bfv.Extractor, bin *binimg.Binary, m *cfg.Model, f *cfg.Function) bfv.Vector {
+	switch rep {
+	case RepAugmentedCFG:
+		return altrep.AugmentedCFG(bin, m, f)
+	case RepAttributedCFG:
+		return altrep.AttributedCFG(bin, m, f)
+	default:
+		return ex.FuncVector(f)
+	}
+}
+
+// anchorVectors extracts representation vectors for every anchor
+// implementation in the target's dependency libraries. For BFV the anchor's
+// caller count also includes call sites in the target binary reaching the
+// anchor's PLT stub, since the library alone understates how busy an anchor
+// is.
+func anchorVectors(t *loader.Target, cfgn Config) []bfv.Vector {
+	// Count target-side callers per import name.
+	stubCallers := map[string]int{}
+	for _, f := range t.Model.FuncsInOrder() {
+		for _, cs := range f.Calls {
+			if cs.ImportName != "" {
+				stubCallers[cs.ImportName]++
+			}
+		}
+	}
+	var out []bfv.Vector
+	libs := make([]string, 0, len(t.Libs))
+	for name := range t.Libs {
+		libs = append(libs, name)
+	}
+	sort.Strings(libs)
+	for _, lib := range libs {
+		bin := t.Libs[lib]
+		m := t.LibModels[lib]
+		ex := bfv.New(bin, m)
+		ex.ExtraCallers = map[uint32]int{}
+		for _, e := range bin.Exports {
+			if _, ok := t.Anchors[e.Name]; ok {
+				ex.ExtraCallers[e.Addr] = stubCallers[e.Name]
+			}
+		}
+		for _, e := range bin.Exports {
+			arity, ok := t.Anchors[e.Name]
+			if !ok {
+				continue
+			}
+			f, ok := m.FuncAt(e.Addr)
+			if !ok {
+				continue
+			}
+			vec := vectorFor(cfgn.Representation, ex, bin, m, f)
+			if cfgn.Representation == RepBFV {
+				mergeTargetStrings(t, e.Name, arity, &vec)
+			}
+			out = append(out, vec)
+		}
+	}
+	return out
+}
+
+// mergeTargetStrings folds the target binary's call sites of an anchor's PLT
+// stub into the anchor's interprocedural string features: an anchor is
+// called from the whole firmware, not only from inside its own library.
+func mergeTargetStrings(t *loader.Target, name string, arity int, vec *bfv.Vector) {
+	stub, ok := findStub(t.Bin, name)
+	if !ok {
+		return
+	}
+	sf := dataflow.CallSiteStringsN(t.Bin, t.Model, stub, arity)
+	if sf.ArgsContainString {
+		(*vec)[bfv.FArgStrings] = 1
+	}
+	(*vec)[bfv.FNumStrings] += float64(len(sf.Strings))
+}
+
+func findStub(bin *binimg.Binary, name string) (uint32, bool) {
+	for _, im := range bin.Imports {
+		if im.Name == name {
+			return im.Stub, true
+		}
+	}
+	return 0, false
+}
+
+// InferTarget runs the full inference pipeline on one target.
+func InferTarget(t *loader.Target, cfgn Config) *Ranking {
+	ex := bfv.New(t.Bin, t.Model)
+	customs := t.Model.CustomFuncs()
+	points := make([]cluster.Point, 0, len(customs))
+	for _, f := range customs {
+		points = append(points, cluster.Point{
+			Entry: f.Entry,
+			Vec:   vectorFor(cfgn.Representation, ex, t.Bin, t.Model, f),
+		})
+	}
+	anchors := anchorVectors(t, cfgn)
+
+	if cfgn.DropFeature >= 0 && cfgn.DropFeature < bfv.Dim {
+		for i := range points {
+			points[i].Vec = points[i].Vec.Drop(cfgn.DropFeature)
+		}
+		for i := range anchors {
+			anchors[i] = anchors[i].Drop(cfgn.DropFeature)
+		}
+	}
+
+	rank := &Ranking{
+		Path:       t.Path,
+		Binary:     t.Bin.Name,
+		NumFuncs:   len(customs),
+		NumAnchors: len(anchors),
+	}
+
+	// Candidate selection.
+	cands := map[uint32]bfv.Vector{}
+	switch cfgn.Strategy {
+	case StrategyCluster:
+		for _, e := range cluster.Candidates(points, cfgn.DBSCAN) {
+			for _, p := range points {
+				if p.Entry == e {
+					cands[e] = p.Vec
+				}
+			}
+		}
+	case StrategyPCA, StrategyStandardize, StrategyNormalize:
+		// Fit the transform on candidates and anchors together so scores
+		// remain comparable, then score everything (no filtering).
+		all := make([]bfv.Vector, 0, len(points)+len(anchors))
+		for _, p := range points {
+			all = append(all, p.Vec)
+		}
+		all = append(all, anchors...)
+		var tr []bfv.Vector
+		switch cfgn.Strategy {
+		case StrategyPCA:
+			tr = cluster.PCA(all, cfgn.PCAComponents)
+		case StrategyStandardize:
+			tr = cluster.Standardize(all)
+		default:
+			tr = cluster.Normalize(all)
+		}
+		for i, p := range points {
+			cands[p.Entry] = tr[i]
+		}
+		anchors = tr[len(points):]
+	default: // StrategyNone
+		for _, p := range points {
+			cands[p.Entry] = p.Vec
+		}
+	}
+	rank.NumCandidates = len(cands)
+	rank.Ranked = score.Rank(cfgn.Metric, cands, anchors)
+	return rank
+}
+
+// InferAll runs inference on every target of a loaded firmware.
+func InferAll(res *loader.Result, cfgn Config) []*Ranking {
+	out := make([]*Ranking, 0, len(res.Targets))
+	for _, t := range res.Targets {
+		out = append(out, InferTarget(t, cfgn))
+	}
+	return out
+}
+
+// AnchorVectorsForTest exposes anchor vector extraction to corpus-tuning
+// tests.
+func AnchorVectorsForTest(t *loader.Target) []bfv.Vector {
+	return anchorVectors(t, DefaultConfig())
+}

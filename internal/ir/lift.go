@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"fmt"
+
+	"fits/internal/isa"
+)
+
+// Lifter translates machine instructions into IR blocks. Temporaries are
+// numbered per lifter so that a whole function lifted by one Lifter has a
+// single temporary namespace, which the dataflow analyses rely on.
+type Lifter struct {
+	next Temp
+}
+
+// NewLifter returns a lifter with a fresh temporary namespace.
+func NewLifter() *Lifter { return &Lifter{} }
+
+func (l *Lifter) tmp() Temp {
+	t := l.next
+	l.next++
+	return t
+}
+
+// NumTemps returns the number of temporaries allocated so far.
+func (l *Lifter) NumTemps() int { return int(l.next) }
+
+// Lift translates one instruction at the given address. The address is
+// needed to resolve fall-through targets of conditional branches.
+func (l *Lifter) Lift(addr uint32, in isa.Instr) (*Block, error) {
+	b := &Block{Addr: addr, Raw: in}
+	emit := func(s Stmt) { b.Stmts = append(b.Stmts, s) }
+	// read loads a register into a fresh temporary and returns it.
+	read := func(r isa.Reg) Expr {
+		t := l.tmp()
+		emit(WrTmp{T: t, E: Get{R: r}})
+		return RdTmp{T: t}
+	}
+	bin := func(op BinOp, x, y Expr) Expr {
+		t := l.tmp()
+		emit(WrTmp{T: t, E: Binop{Op: op, L: x, R: y}})
+		return RdTmp{T: t}
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+		// no statements
+
+	case isa.OpMovi:
+		emit(Put{R: in.Rd, E: Const{V: int64(in.Imm)}})
+
+	case isa.OpMov:
+		emit(Put{R: in.Rd, E: read(in.Rs1)})
+
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
+		isa.OpXor, isa.OpShl, isa.OpShr:
+		op := map[isa.Op]BinOp{
+			isa.OpAdd: Add, isa.OpSub: Sub, isa.OpMul: Mul, isa.OpDiv: Div,
+			isa.OpAnd: And, isa.OpOr: Or, isa.OpXor: Xor, isa.OpShl: Shl,
+			isa.OpShr: Shr,
+		}[in.Op]
+		emit(Put{R: in.Rd, E: bin(op, read(in.Rs1), read(in.Rs2))})
+
+	case isa.OpAddi:
+		emit(Put{R: in.Rd, E: bin(Add, read(in.Rs1), Const{V: int64(in.Imm)})})
+
+	case isa.OpLdb, isa.OpLdw:
+		size := 1
+		if in.Op == isa.OpLdw {
+			size = isa.WordSize
+		}
+		addrE := bin(Add, read(in.Rs1), Const{V: int64(in.Imm)})
+		t := l.tmp()
+		emit(WrTmp{T: t, E: Load{Addr: addrE, Size: size}})
+		emit(Put{R: in.Rd, E: RdTmp{T: t}})
+
+	case isa.OpStb, isa.OpStw:
+		size := 1
+		if in.Op == isa.OpStw {
+			size = isa.WordSize
+		}
+		val := read(in.Rs2)
+		addrE := bin(Add, read(in.Rs1), Const{V: int64(in.Imm)})
+		emit(Store{Addr: addrE, Val: val, Size: size})
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		op := map[isa.Op]BinOp{
+			isa.OpBeq: CmpEQ, isa.OpBne: CmpNE, isa.OpBlt: CmpLT, isa.OpBge: CmpGE,
+		}[in.Op]
+		cond := bin(op, read(in.Rs1), read(in.Rs2))
+		emit(Exit{Cond: cond, Target: uint32(in.Imm)})
+
+	case isa.OpJmp:
+		emit(Jump{Target: uint32(in.Imm)})
+
+	case isa.OpJr:
+		emit(Jump{Dyn: read(in.Rs1)})
+
+	case isa.OpCall:
+		emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
+		emit(Call{Kind: CallDirect, Target: uint32(in.Imm)})
+
+	case isa.OpCallr:
+		target := read(in.Rs1)
+		emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
+		emit(Call{Kind: CallIndirect, Dyn: target})
+
+	case isa.OpRet:
+		emit(Ret{})
+
+	case isa.OpPush:
+		val := read(in.Rs1)
+		sp := bin(Sub, read(isa.SP), Const{V: isa.WordSize})
+		emit(Put{R: isa.SP, E: sp})
+		emit(Store{Addr: sp, Val: val, Size: isa.WordSize})
+
+	case isa.OpPop:
+		sp := read(isa.SP)
+		t := l.tmp()
+		emit(WrTmp{T: t, E: Load{Addr: sp, Size: isa.WordSize}})
+		emit(Put{R: in.Rd, E: RdTmp{T: t}})
+		emit(Put{R: isa.SP, E: bin(Add, sp, Const{V: isa.WordSize})})
+
+	case isa.OpSys:
+		emit(Sys{Num: in.Imm})
+
+	case isa.OpTramp:
+		emit(Call{Kind: CallTramp, GOT: uint32(in.Imm)})
+		emit(Ret{})
+
+	default:
+		return nil, fmt.Errorf("ir: cannot lift %v at 0x%x", in.Op, addr)
+	}
+	return b, nil
+}
+
+// LiftAll lifts a contiguous run of instructions starting at base.
+func (l *Lifter) LiftAll(base uint32, ins []isa.Instr) ([]*Block, error) {
+	out := make([]*Block, 0, len(ins))
+	for i, in := range ins {
+		b, err := l.Lift(base+uint32(i*isa.Width), in)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

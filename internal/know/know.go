@@ -1,0 +1,115 @@
+// Package know is the knowledge base of well-known library functions shared
+// by every stage: anchor functions (memory-operation libc routines used as
+// behavioral references), classical taint sources (interface functions that
+// receive user input), and sinks (functions whose misuse yields buffer
+// overflows or command hijacking). All are matched by dynamic-symbol name,
+// the only name information that survives stripping.
+package know
+
+// Anchors maps anchor function names to their arity. The set follows the
+// paper's definition: standard library functions that read memory, derive
+// new data and return it (Figure 2 shows strcpy, memcmp, strstr).
+var Anchors = map[string]int{
+	"strcpy":  2,
+	"strncpy": 3,
+	"strcat":  2,
+	"strncat": 3,
+	"strcmp":  2,
+	"strncmp": 3,
+	"strstr":  2,
+	"strchr":  2,
+	"strlen":  1,
+	"memcpy":  3,
+	"memmove": 3,
+	"memcmp":  3,
+	"memchr":  3,
+}
+
+// IsAnchor reports whether name denotes an anchor function.
+func IsAnchor(name string) bool {
+	_, ok := Anchors[name]
+	return ok
+}
+
+// SourceSpec describes how a classical taint source produces user input.
+type SourceSpec struct {
+	Arity         int
+	TaintsReturn  bool  // the return value carries user input (e.g. getenv)
+	TaintedParams []int // parameter indices of output buffers (e.g. recv's buf)
+}
+
+// Sources are the classical taint sources (CTSs): interface library
+// functions that receive user data.
+var Sources = map[string]SourceSpec{
+	"recv":     {Arity: 4, TaintedParams: []int{1}},
+	"recvfrom": {Arity: 4, TaintedParams: []int{1}},
+	"read":     {Arity: 3, TaintedParams: []int{1}},
+	"fread":    {Arity: 4, TaintedParams: []int{0}},
+	"fgets":    {Arity: 3, TaintedParams: []int{0}},
+	"gets":     {Arity: 1, TaintedParams: []int{0}},
+	"getenv":   {Arity: 1, TaintsReturn: true},
+	"BIO_read": {Arity: 3, TaintedParams: []int{1}},
+}
+
+// IsSource reports whether name is a classical taint source.
+func IsSource(name string) bool {
+	_, ok := Sources[name]
+	return ok
+}
+
+// SinkKind distinguishes the two vulnerability classes detected.
+type SinkKind uint8
+
+// Sink kinds.
+const (
+	SinkOverflow SinkKind = iota
+	SinkCommand
+)
+
+func (k SinkKind) String() string {
+	if k == SinkCommand {
+		return "command-hijack"
+	}
+	return "buffer-overflow"
+}
+
+// SinkSpec describes a risky library function.
+type SinkSpec struct {
+	Kind SinkKind
+	// DangerousParams are the parameter indices where unsanitized user
+	// data makes the call exploitable (the copied source, the format
+	// arguments, the command string).
+	DangerousParams []int
+}
+
+// Sinks are the risky library functions, following the paper's section 4.3:
+// overflow-prone copies and formatters, and command executors.
+var Sinks = map[string]SinkSpec{
+	"strcpy":  {Kind: SinkOverflow, DangerousParams: []int{1}},
+	"strncpy": {Kind: SinkOverflow, DangerousParams: []int{1}},
+	"strcat":  {Kind: SinkOverflow, DangerousParams: []int{1}},
+	"strncat": {Kind: SinkOverflow, DangerousParams: []int{1}},
+	"sprintf": {Kind: SinkOverflow, DangerousParams: []int{1, 2, 3}},
+	"system":  {Kind: SinkCommand, DangerousParams: []int{0}},
+	"execve":  {Kind: SinkCommand, DangerousParams: []int{0, 1}},
+	"popen":   {Kind: SinkCommand, DangerousParams: []int{0}},
+}
+
+// IsSink reports whether name is a sink.
+func IsSink(name string) bool {
+	_, ok := Sinks[name]
+	return ok
+}
+
+// NetworkImports are the interface functions whose presence marks a binary
+// as exporting network services (the PIE-style selection heuristic of the
+// pre-processing stage).
+var NetworkImports = map[string]bool{
+	"socket":   true,
+	"bind":     true,
+	"listen":   true,
+	"accept":   true,
+	"recv":     true,
+	"recvfrom": true,
+	"BIO_read": true,
+}

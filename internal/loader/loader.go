@@ -1,0 +1,196 @@
+// Package loader implements the pre-processing stage: it unpacks a firmware
+// image, selects the binaries that export network services (by their
+// interface-function imports, the PIE-style heuristic), resolves their
+// dependency libraries, identifies anchor functions among the libraries'
+// dynamic symbols, and builds whole-binary models with UCSE-backed indirect
+// call resolution.
+package loader
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+	"fits/internal/firmware"
+	"fits/internal/know"
+	"fits/internal/ucse"
+)
+
+// ErrNoTargets is returned when no binary in the image exports network
+// services — the pre-processing failure mode behind four of the paper's six
+// inference misses.
+var ErrNoTargets = errors.New("loader: no network binaries found")
+
+// Target is one selected network binary with its analysis context.
+type Target struct {
+	Path  string
+	Bin   *binimg.Binary
+	Model *cfg.Model
+	// Libs maps needed library file names to their decoded binaries;
+	// LibModels holds their whole-binary models.
+	Libs      map[string]*binimg.Binary
+	LibModels map[string]*cfg.Model
+	// Anchors maps anchor function names exported by the dependency
+	// libraries to their arity.
+	Anchors map[string]int
+}
+
+// AnchorEntries returns (library name, export address) pairs for every
+// anchor implementation available to this target.
+func (t *Target) AnchorEntries() map[string][]uint32 {
+	out := map[string][]uint32{}
+	for lib, bin := range t.Libs {
+		for _, e := range bin.Exports {
+			if know.IsAnchor(e.Name) {
+				out[lib] = append(out[lib], e.Addr)
+			}
+		}
+	}
+	return out
+}
+
+// Result is the outcome of pre-processing one firmware image.
+type Result struct {
+	Image   *firmware.Image
+	Scheme  firmware.Scheme
+	Targets []*Target
+}
+
+// Options configures loading.
+type Options struct {
+	// SkipResolver disables UCSE indirect-call resolution (faster, less
+	// complete call graphs).
+	SkipResolver bool
+	// KeepUnstripped retains debug symbols if present (test corpora).
+	KeepUnstripped bool
+}
+
+// executableDirs are filesystem locations treated as holding executables.
+var executableDirs = map[string]bool{
+	"bin": true, "sbin": true, "usr/bin": true, "usr/sbin": true, "www/cgi-bin": true,
+}
+
+// isExecutablePath reports whether the path denotes an executable location
+// (libraries live elsewhere and are only analyzed as dependencies).
+func isExecutablePath(p string) bool {
+	dir := path.Dir(p)
+	return executableDirs[dir] && !strings.HasSuffix(p, ".so")
+}
+
+// Load unpacks raw firmware bytes and prepares every network target.
+func Load(raw []byte, opts Options) (*Result, error) {
+	img, err := firmware.Unpack(raw)
+	if err != nil {
+		return nil, fmt.Errorf("loader: unpack: %w", err)
+	}
+	res := &Result{Image: img, Scheme: firmware.DetectScheme(raw)}
+	if err := res.load(opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// LoadImage prepares targets from an already unpacked image.
+func LoadImage(img *firmware.Image, opts Options) (*Result, error) {
+	res := &Result{Image: img, Scheme: firmware.SchemeNone}
+	if err := res.load(opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (res *Result) load(opts Options) error {
+	img := res.Image
+	// Decode every binary in the filesystem.
+	bins := map[string]*binimg.Binary{}
+	for _, f := range img.Files {
+		if !binimg.IsBinary(f.Data) {
+			continue
+		}
+		b, err := binimg.Decode(f.Data)
+		if err != nil {
+			continue // corrupt binaries are skipped, as binwalk-style tools do
+		}
+		bins[f.Path] = b
+	}
+
+	// Index libraries by base name for dependency resolution.
+	libByName := map[string]*binimg.Binary{}
+	for p, b := range bins {
+		base := path.Base(p)
+		if strings.HasSuffix(base, ".so") {
+			libByName[base] = b
+		}
+	}
+
+	resolver := cfg.IndirectResolver(nil)
+	jumpResolver := cfg.JumpTableResolver(nil)
+	if !opts.SkipResolver {
+		resolver = ucse.Resolver()
+		jumpResolver = ucse.JumpResolver()
+	}
+
+	for p, b := range bins {
+		if !isExecutablePath(p) {
+			continue
+		}
+		if !importsNetwork(b) {
+			continue
+		}
+		t := &Target{
+			Path:      p,
+			Bin:       b,
+			Libs:      map[string]*binimg.Binary{},
+			LibModels: map[string]*cfg.Model{},
+			Anchors:   map[string]int{},
+		}
+		model, err := cfg.Build(b, cfg.Options{Resolver: resolver, JumpResolver: jumpResolver})
+		if err != nil {
+			return fmt.Errorf("loader: %s: %w", p, err)
+		}
+		t.Model = model
+		for _, need := range b.Needed {
+			lib, ok := libByName[need]
+			if !ok {
+				continue // missing library; analysis proceeds without it
+			}
+			t.Libs[need] = lib
+			lm, err := cfg.Build(lib, cfg.Options{Resolver: resolver, JumpResolver: jumpResolver})
+			if err != nil {
+				return fmt.Errorf("loader: %s: %w", need, err)
+			}
+			t.LibModels[need] = lm
+			for _, e := range lib.Exports {
+				if arity, ok := know.Anchors[e.Name]; ok {
+					t.Anchors[e.Name] = arity
+				}
+			}
+		}
+		res.Targets = append(res.Targets, t)
+	}
+	if len(res.Targets) == 0 {
+		return ErrNoTargets
+	}
+	// Deterministic target order.
+	for i := 0; i < len(res.Targets); i++ {
+		for j := i + 1; j < len(res.Targets); j++ {
+			if res.Targets[j].Path < res.Targets[i].Path {
+				res.Targets[i], res.Targets[j] = res.Targets[j], res.Targets[i]
+			}
+		}
+	}
+	return nil
+}
+
+// importsNetwork reports whether the binary imports any interface function.
+func importsNetwork(b *binimg.Binary) bool {
+	for _, im := range b.Imports {
+		if know.NetworkImports[im.Name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+// Package minic is a small compiled language used to author the programs of
+// the synthetic firmware corpus. It compiles structured code (functions,
+// loops, branches, memory access, direct and table-indirect calls) to the
+// corpus ISA and links executables and shared libraries in the binimg
+// container format.
+//
+// The language exists so that every binary the analysis pipeline sees was
+// genuinely produced by a compiler: function boundaries, calling conventions,
+// string placement and pointer tables all arise from code generation, not
+// from hand-written analysis-friendly fixtures.
+package minic
+
+import "fmt"
+
+// Program is a compilation unit: one executable or shared library.
+type Program struct {
+	Name    string // output file name, e.g. "httpd" or "libc.so"
+	Library bool   // libraries export every function marked Exported
+	Funcs   []*Func
+	Globals []*Global
+}
+
+// Func is a function definition. Parameters arrive in r0..r3 and are spilled
+// to stack slots by the prologue; the return value leaves in r0.
+type Func struct {
+	Name     string
+	NParams  int
+	Exported bool // emitted as a dynamic symbol
+	Body     []Stmt
+}
+
+// Global is a data or bss object. When Init is nil the object is placed in
+// bss; otherwise in the data section. Ptrs patches link-time addresses
+// (function pointers for dispatch tables, string addresses) into Init.
+type Global struct {
+	Name string
+	Size int
+	Init []byte
+	Ptrs []PtrInit
+}
+
+// PtrInit patches one pointer slot of a global at link time. Exactly one of
+// FuncName and Str must be set.
+type PtrInit struct {
+	Off      int
+	FuncName string
+	Str      string
+}
+
+// Stmt is a statement.
+type Stmt interface{ isStmt() }
+
+// Let declares a local variable and initializes it.
+type Let struct {
+	Name string
+	E    Expr
+}
+
+// Assign overwrites a local or parameter.
+type Assign struct {
+	Name string
+	E    Expr
+}
+
+// StoreStmt writes Size bytes (1 or the word size) of Val to Addr.
+type StoreStmt struct {
+	Size int
+	Addr Expr
+	Val  Expr
+}
+
+// If branches on a comparison.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops on a comparison.
+type While struct {
+	Cond Cond
+	Body []Stmt
+}
+
+// Switch dispatches on a dense 0..len(Cases)-1 selector through a jump
+// table materialized in rodata; out-of-range selectors fall to Default.
+// Compiles to an indirect jump (jr), the pattern that forces CFG recovery
+// to resolve jump tables.
+type Switch struct {
+	E       Expr
+	Cases   [][]Stmt
+	Default []Stmt
+}
+
+// Return leaves the function; E may be nil to preserve r0 (used by
+// primitives whose result is produced by a sys instruction).
+type Return struct{ E Expr }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct{ E Expr }
+
+// Syscall emits a system primitive; the result is left in r0 by convention.
+type Syscall struct{ Num int32 }
+
+func (Let) isStmt()       {}
+func (Switch) isStmt()    {}
+func (Assign) isStmt()    {}
+func (StoreStmt) isStmt() {}
+func (If) isStmt()        {}
+func (While) isStmt()     {}
+func (Return) isStmt()    {}
+func (ExprStmt) isStmt()  {}
+func (Syscall) isStmt()   {}
+
+// CmpOp is a comparison operator for conditions.
+type CmpOp uint8
+
+// Comparison operators (signed).
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Ge
+	Gt // compiled as swapped Lt
+	Le // compiled as swapped Ge
+)
+
+// Cond is a branch condition comparing two expressions.
+type Cond struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Truthy builds the condition e != 0.
+func Truthy(e Expr) Cond { return Cond{Op: Ne, L: e, R: Int(0)} }
+
+// Expr is an expression.
+type Expr interface{ isExpr() }
+
+// Int is an integer literal.
+type Int int32
+
+// Str is the address of an interned NUL-terminated rodata string.
+type Str string
+
+// Var reads a local or parameter.
+type Var string
+
+// GlobalRef is the address of a global object.
+type GlobalRef string
+
+// FuncAddr is the link-time address of a function (for pointer tables built
+// at runtime; static tables use Global.Ptrs).
+type FuncAddr string
+
+// LoadExpr reads Size bytes at Addr.
+type LoadExpr struct {
+	Size int
+	Addr Expr
+}
+
+// BinKind is an arithmetic operator.
+type BinKind uint8
+
+// Arithmetic operators.
+const (
+	OpAdd BinKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+)
+
+// Bin combines two expressions arithmetically.
+type Bin struct {
+	Op   BinKind
+	L, R Expr
+}
+
+// Call invokes a function by name. Names not defined in the program become
+// imports resolved through PLT stubs at link time.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// CallInd loads a function pointer from a global table and calls it:
+// (*table[Index])(Args...). This is the dispatch pattern whose resolution
+// requires the under-constrained symbolic execution stage.
+type CallInd struct {
+	Table string
+	Index Expr
+	Args  []Expr
+}
+
+func (Int) isExpr()       {}
+func (Str) isExpr()       {}
+func (Var) isExpr()       {}
+func (GlobalRef) isExpr() {}
+func (FuncAddr) isExpr()  {}
+func (LoadExpr) isExpr()  {}
+func (Bin) isExpr()       {}
+func (Call) isExpr()      {}
+func (CallInd) isExpr()   {}
+
+// Convenience constructors keep generator code readable.
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return Bin{Op: OpAdd, L: l, R: r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return Bin{Op: OpSub, L: l, R: r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return Bin{Op: OpMul, L: l, R: r} }
+
+// LoadW reads a word at addr.
+func LoadW(addr Expr) Expr { return LoadExpr{Size: 4, Addr: addr} }
+
+// LoadB reads a byte at addr.
+func LoadB(addr Expr) Expr { return LoadExpr{Size: 1, Addr: addr} }
+
+// Validate checks structural invariants of the program before compilation.
+func (p *Program) Validate() error {
+	seen := map[string]bool{}
+	for _, f := range p.Funcs {
+		if f.Name == "" {
+			return fmt.Errorf("minic: %s: function with empty name", p.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("minic: %s: duplicate function %q", p.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if f.NParams < 0 || f.NParams > 4 {
+			return fmt.Errorf("minic: %s: %s has %d params; max 4", p.Name, f.Name, f.NParams)
+		}
+	}
+	gseen := map[string]bool{}
+	for _, g := range p.Globals {
+		if gseen[g.Name] {
+			return fmt.Errorf("minic: %s: duplicate global %q", p.Name, g.Name)
+		}
+		gseen[g.Name] = true
+		if g.Init != nil && len(g.Init) != g.Size {
+			return fmt.Errorf("minic: %s: global %q init size %d != size %d", p.Name, g.Name, len(g.Init), g.Size)
+		}
+		for _, pi := range g.Ptrs {
+			if pi.Off < 0 || pi.Off+4 > g.Size {
+				return fmt.Errorf("minic: %s: global %q pointer offset %d out of range", p.Name, g.Name, pi.Off)
+			}
+			if (pi.FuncName == "") == (pi.Str == "") {
+				return fmt.Errorf("minic: %s: global %q pointer init must set exactly one of func/str", p.Name, g.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+package minic
+
+import (
+	"fmt"
+
+	"fits/internal/isa"
+)
+
+// relInstr is an instruction with unresolved references. Exactly one of the
+// reference fields may be set; the linker patches Imm accordingly.
+type relInstr struct {
+	in isa.Instr
+
+	// localTarget is a body-relative instruction index for branches and
+	// jumps within the function; -1 when unused.
+	localTarget int
+
+	callRef string // call target by name: local function or import
+	fnRef   string // movi of a function address
+	strRef  string // movi of an interned string address
+	glbRef  string // movi of a global object address
+	// jtRef1 is a 1-based jump-table id whose rodata address patches Imm;
+	// 0 means unused.
+	jtRef1 int
+}
+
+// compiledFunc is the output of code generation for one function.
+type compiledFunc struct {
+	fn  *Func
+	ins []relInstr
+	// tables holds switch jump tables: per table, the instruction indexes
+	// (function-relative) of each case entry.
+	tables [][]int
+}
+
+// funcCompiler holds per-function code generation state.
+type funcCompiler struct {
+	prog    *Program
+	fn      *Func
+	body    []relInstr
+	tables  [][]int          // body-relative case entry indexes per switch
+	slots   map[string]int32 // local/param name -> frame offset
+	nextOff int32
+	maxEval isa.Reg // highest evaluation register used
+	strs    map[string]bool
+	err     error
+}
+
+const (
+	evalBase = isa.R4 // first evaluation register
+	evalTop  = isa.R11
+)
+
+func (fc *funcCompiler) fail(format string, args ...any) {
+	if fc.err == nil {
+		fc.err = fmt.Errorf("minic: %s: %s: %s", fc.prog.Name, fc.fn.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (fc *funcCompiler) emit(in isa.Instr) int {
+	fc.body = append(fc.body, relInstr{in: in, localTarget: -1})
+	return len(fc.body) - 1
+}
+
+func (fc *funcCompiler) emitRel(ri relInstr) int {
+	fc.body = append(fc.body, ri)
+	return len(fc.body) - 1
+}
+
+func (fc *funcCompiler) slot(name string) (int32, bool) {
+	off, ok := fc.slots[name]
+	return off, ok
+}
+
+func (fc *funcCompiler) addSlot(name string) int32 {
+	off := fc.nextOff
+	fc.slots[name] = off
+	fc.nextOff += isa.WordSize
+	return off
+}
+
+// evalReg returns the evaluation register for a depth, failing on overflow.
+func (fc *funcCompiler) evalReg(depth int) isa.Reg {
+	r := evalBase + isa.Reg(depth)
+	if r > evalTop {
+		fc.fail("expression too deep (depth %d)", depth)
+		return evalTop
+	}
+	if r > fc.maxEval {
+		fc.maxEval = r
+	}
+	return r
+}
+
+var binOpMap = map[BinKind]isa.Op{
+	OpAdd: isa.OpAdd, OpSub: isa.OpSub, OpMul: isa.OpMul, OpDiv: isa.OpDiv,
+	OpAnd: isa.OpAnd, OpOr: isa.OpOr, OpXor: isa.OpXor, OpShl: isa.OpShl,
+	OpShr: isa.OpShr,
+}
+
+// expr generates code leaving the value of e in the evaluation register for
+// depth, and returns that register.
+func (fc *funcCompiler) expr(e Expr, depth int) isa.Reg {
+	rd := fc.evalReg(depth)
+	if fc.err != nil {
+		return rd
+	}
+	switch e := e.(type) {
+	case Int:
+		fc.emit(isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: int32(e)})
+
+	case Str:
+		fc.strs[string(e)] = true
+		fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpMovi, Rd: rd}, localTarget: -1, strRef: string(e)})
+
+	case Var:
+		off, ok := fc.slot(string(e))
+		if !ok {
+			fc.fail("undefined variable %q", string(e))
+			return rd
+		}
+		fc.emit(isa.Instr{Op: isa.OpLdw, Rd: rd, Rs1: isa.SP, Imm: off})
+
+	case GlobalRef:
+		fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpMovi, Rd: rd}, localTarget: -1, glbRef: string(e)})
+
+	case FuncAddr:
+		fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpMovi, Rd: rd}, localTarget: -1, fnRef: string(e)})
+
+	case LoadExpr:
+		fc.expr(e.Addr, depth)
+		op := isa.OpLdw
+		if e.Size == 1 {
+			op = isa.OpLdb
+		}
+		fc.emit(isa.Instr{Op: op, Rd: rd, Rs1: rd})
+
+	case Bin:
+		fc.expr(e.L, depth)
+		rr := fc.expr(e.R, depth+1)
+		op, ok := binOpMap[e.Op]
+		if !ok {
+			fc.fail("unknown binary op %d", e.Op)
+			return rd
+		}
+		fc.emit(isa.Instr{Op: op, Rd: rd, Rs1: rd, Rs2: rr})
+
+	case Call:
+		fc.call(e.Name, e.Args, depth)
+
+	case CallInd:
+		fc.callInd(e, depth)
+
+	default:
+		fc.fail("unknown expression %T", e)
+	}
+	return rd
+}
+
+// call generates a direct call, leaving the result in the depth register.
+func (fc *funcCompiler) call(name string, args []Expr, depth int) {
+	if len(args) > 4 {
+		fc.fail("call %s with %d args; max 4", name, len(args))
+		return
+	}
+	for i, a := range args {
+		fc.expr(a, depth+i)
+	}
+	for i := range args {
+		fc.emit(isa.Instr{Op: isa.OpMov, Rd: isa.Reg(i), Rs1: fc.evalReg(depth + i)})
+	}
+	fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpCall}, localTarget: -1, callRef: name})
+	fc.emit(isa.Instr{Op: isa.OpMov, Rd: fc.evalReg(depth), Rs1: isa.R0})
+}
+
+// callInd generates a table-indirect call: (*table[index])(args...).
+func (fc *funcCompiler) callInd(e CallInd, depth int) {
+	if len(e.Args) > 4 {
+		fc.fail("indirect call with %d args; max 4", len(e.Args))
+		return
+	}
+	rd := fc.evalReg(depth)
+	fc.expr(e.Index, depth)
+	// rd = table + index*WordSize; then load the pointer.
+	fc.emit(isa.Instr{Op: isa.OpMovi, Rd: isa.AT, Imm: 2})
+	fc.emit(isa.Instr{Op: isa.OpShl, Rd: rd, Rs1: rd, Rs2: isa.AT})
+	fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpMovi, Rd: isa.AT}, localTarget: -1, glbRef: e.Table})
+	fc.emit(isa.Instr{Op: isa.OpAdd, Rd: rd, Rs1: rd, Rs2: isa.AT})
+	fc.emit(isa.Instr{Op: isa.OpLdw, Rd: rd, Rs1: rd})
+	for i, a := range e.Args {
+		fc.expr(a, depth+1+i)
+	}
+	for i := range e.Args {
+		fc.emit(isa.Instr{Op: isa.OpMov, Rd: isa.Reg(i), Rs1: fc.evalReg(depth + 1 + i)})
+	}
+	fc.emit(isa.Instr{Op: isa.OpCallr, Rs1: rd})
+	fc.emit(isa.Instr{Op: isa.OpMov, Rd: rd, Rs1: isa.R0})
+}
+
+// branchOps maps a comparison to the branch taken when the comparison is
+// FALSE (the usual if-not-goto-else encoding), plus an operand swap flag.
+func negBranch(op CmpOp) (isa.Op, bool, error) {
+	switch op {
+	case Eq:
+		return isa.OpBne, false, nil
+	case Ne:
+		return isa.OpBeq, false, nil
+	case Lt:
+		return isa.OpBge, false, nil
+	case Ge:
+		return isa.OpBlt, false, nil
+	case Gt: // l > r  <=>  r < l; false-branch: r >= l
+		return isa.OpBge, true, nil
+	case Le: // l <= r <=>  r >= l; false-branch: r < l
+		return isa.OpBlt, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown comparison %d", op)
+}
+
+// cond emits the condition and a branch to a placeholder taken when the
+// condition is false; the returned index must be patched with the target.
+func (fc *funcCompiler) cond(c Cond) int {
+	rl := fc.expr(c.L, 0)
+	rr := fc.expr(c.R, 1)
+	op, swap, err := negBranch(c.Op)
+	if err != nil {
+		fc.fail("%v", err)
+		return fc.emit(isa.Instr{Op: isa.OpNop})
+	}
+	if swap {
+		rl, rr = rr, rl
+	}
+	return fc.emitRel(relInstr{in: isa.Instr{Op: op, Rs1: rl, Rs2: rr}, localTarget: 0})
+}
+
+// epiloguePlaceholder marks jumps to the shared function epilogue.
+const epiloguePlaceholder = -2
+
+func (fc *funcCompiler) stmts(list []Stmt) {
+	for _, s := range list {
+		fc.stmt(s)
+		if fc.err != nil {
+			return
+		}
+	}
+}
+
+func (fc *funcCompiler) stmt(s Stmt) {
+	switch s := s.(type) {
+	case Let:
+		if _, exists := fc.slots[s.Name]; exists {
+			fc.fail("redeclared variable %q", s.Name)
+			return
+		}
+		r := fc.expr(s.E, 0)
+		off := fc.addSlot(s.Name)
+		fc.emit(isa.Instr{Op: isa.OpStw, Rs1: isa.SP, Rs2: r, Imm: off})
+
+	case Assign:
+		off, ok := fc.slot(s.Name)
+		if !ok {
+			fc.fail("assignment to undefined variable %q", s.Name)
+			return
+		}
+		r := fc.expr(s.E, 0)
+		fc.emit(isa.Instr{Op: isa.OpStw, Rs1: isa.SP, Rs2: r, Imm: off})
+
+	case StoreStmt:
+		rv := fc.expr(s.Val, 0)
+		ra := fc.expr(s.Addr, 1)
+		op := isa.OpStw
+		if s.Size == 1 {
+			op = isa.OpStb
+		}
+		fc.emit(isa.Instr{Op: op, Rs1: ra, Rs2: rv})
+
+	case If:
+		falseBr := fc.cond(s.Cond)
+		fc.stmts(s.Then)
+		if len(s.Else) > 0 {
+			skipElse := fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpJmp}, localTarget: 0})
+			fc.body[falseBr].localTarget = len(fc.body)
+			fc.stmts(s.Else)
+			fc.body[skipElse].localTarget = len(fc.body)
+		} else {
+			fc.body[falseBr].localTarget = len(fc.body)
+		}
+
+	case While:
+		head := len(fc.body)
+		exitBr := fc.cond(s.Cond)
+		fc.stmts(s.Body)
+		back := fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpJmp}, localTarget: 0})
+		fc.body[back].localTarget = head
+		fc.body[exitBr].localTarget = len(fc.body)
+
+	case Switch:
+		n := len(s.Cases)
+		if n == 0 {
+			fc.stmts(s.Default)
+			return
+		}
+		rd := fc.expr(s.E, 0)
+		rb := fc.evalReg(1)
+		// Out-of-range selectors take the default.
+		fc.emit(isa.Instr{Op: isa.OpMovi, Rd: rb, Imm: 0})
+		defBr1 := fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpBlt, Rs1: rd, Rs2: rb}, localTarget: 0})
+		fc.emit(isa.Instr{Op: isa.OpMovi, Rd: rb, Imm: int32(n)})
+		defBr2 := fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpBge, Rs1: rd, Rs2: rb}, localTarget: 0})
+		// Indirect dispatch through the rodata jump table.
+		tid := len(fc.tables)
+		fc.tables = append(fc.tables, nil)
+		fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpMovi, Rd: isa.AT}, localTarget: -1, jtRef1: tid + 1})
+		fc.emit(isa.Instr{Op: isa.OpMovi, Rd: rb, Imm: 2})
+		fc.emit(isa.Instr{Op: isa.OpShl, Rd: rd, Rs1: rd, Rs2: rb})
+		fc.emit(isa.Instr{Op: isa.OpAdd, Rd: rd, Rs1: rd, Rs2: isa.AT})
+		fc.emit(isa.Instr{Op: isa.OpLdw, Rd: rd, Rs1: rd})
+		fc.emit(isa.Instr{Op: isa.OpJr, Rs1: rd})
+		entries := make([]int, n)
+		var exits []int
+		for k, body := range s.Cases {
+			entries[k] = len(fc.body)
+			fc.stmts(body)
+			if fc.err != nil {
+				return
+			}
+			exits = append(exits, fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpJmp}, localTarget: 0}))
+		}
+		defaultIdx := len(fc.body)
+		fc.body[defBr1].localTarget = defaultIdx
+		fc.body[defBr2].localTarget = defaultIdx
+		fc.stmts(s.Default)
+		end := len(fc.body)
+		for _, x := range exits {
+			fc.body[x].localTarget = end
+		}
+		fc.tables[tid] = entries
+
+	case Return:
+		if s.E != nil {
+			r := fc.expr(s.E, 0)
+			fc.emit(isa.Instr{Op: isa.OpMov, Rd: isa.R0, Rs1: r})
+		}
+		fc.emitRel(relInstr{in: isa.Instr{Op: isa.OpJmp}, localTarget: epiloguePlaceholder})
+
+	case ExprStmt:
+		fc.expr(s.E, 0)
+
+	case Syscall:
+		fc.emit(isa.Instr{Op: isa.OpSys, Imm: s.Num})
+
+	default:
+		fc.fail("unknown statement %T", s)
+	}
+}
+
+// compileFunc generates the complete instruction list for one function:
+// prologue, parameter spills, body, epilogue.
+func compileFunc(p *Program, f *Func, strs map[string]bool) (*compiledFunc, error) {
+	fc := &funcCompiler{
+		prog:  p,
+		fn:    f,
+		slots: map[string]int32{},
+		strs:  strs,
+	}
+	// Parameters get the first frame slots.
+	paramNames := make([]string, f.NParams)
+	for i := 0; i < f.NParams; i++ {
+		name := fmt.Sprintf("p%d", i)
+		paramNames[i] = name
+		fc.addSlot(name)
+	}
+	fc.stmts(f.Body)
+	if fc.err != nil {
+		return nil, fc.err
+	}
+
+	// Prologue: save LR, save used callee-saved registers, open the frame,
+	// spill parameters.
+	var pro []relInstr
+	emitPro := func(in isa.Instr) {
+		pro = append(pro, relInstr{in: in, localTarget: -1})
+	}
+	emitPro(isa.Instr{Op: isa.OpPush, Rs1: isa.LR})
+	var saved []isa.Reg
+	if fc.maxEval >= evalBase {
+		for r := evalBase; r <= fc.maxEval; r++ {
+			saved = append(saved, r)
+		}
+	}
+	for _, r := range saved {
+		emitPro(isa.Instr{Op: isa.OpPush, Rs1: r})
+	}
+	frame := fc.nextOff
+	if frame > 0 {
+		emitPro(isa.Instr{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: -frame})
+	}
+	for i := range paramNames {
+		off := fc.slots[paramNames[i]]
+		emitPro(isa.Instr{Op: isa.OpStw, Rs1: isa.SP, Rs2: isa.Reg(i), Imm: off})
+	}
+
+	// Epilogue mirrors the prologue.
+	var epi []relInstr
+	emitEpi := func(in isa.Instr) {
+		epi = append(epi, relInstr{in: in, localTarget: -1})
+	}
+	if frame > 0 {
+		emitEpi(isa.Instr{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: frame})
+	}
+	for i := len(saved) - 1; i >= 0; i-- {
+		emitEpi(isa.Instr{Op: isa.OpPop, Rd: saved[i]})
+	}
+	emitEpi(isa.Instr{Op: isa.OpPop, Rd: isa.LR})
+	emitEpi(isa.Instr{Op: isa.OpRet})
+
+	// Assemble: shift body-relative targets past the prologue and bind
+	// epilogue jumps.
+	ins := make([]relInstr, 0, len(pro)+len(fc.body)+len(epi))
+	ins = append(ins, pro...)
+	epiStart := len(pro) + len(fc.body)
+	for _, ri := range fc.body {
+		switch ri.localTarget {
+		case -1:
+		case epiloguePlaceholder:
+			ri.localTarget = epiStart
+		default:
+			ri.localTarget += len(pro)
+		}
+		ins = append(ins, ri)
+	}
+	ins = append(ins, epi...)
+	tables := make([][]int, len(fc.tables))
+	for i, tb := range fc.tables {
+		tables[i] = make([]int, len(tb))
+		for j, e := range tb {
+			tables[i][j] = e + len(pro)
+		}
+	}
+	ins, tables = peephole(ins, tables)
+	return &compiledFunc{fn: f, ins: ins, tables: tables}, nil
+}
+
+// peephole removes unconditional jumps to the immediately following
+// instruction (the common "return at end of function" pattern), remapping
+// branch targets and jump-table entries. Runs to a fixed point since
+// removals create new adjacency.
+func peephole(ins []relInstr, tables [][]int) ([]relInstr, [][]int) {
+	for {
+		removed := -1
+		for i, ri := range ins {
+			if ri.in.Op == isa.OpJmp && ri.localTarget == i+1 {
+				removed = i
+				break
+			}
+		}
+		if removed < 0 {
+			return ins, tables
+		}
+		out := make([]relInstr, 0, len(ins)-1)
+		// newIndex counts kept instructions before an original index; a
+		// target equal to the removed index maps to the next kept one.
+		newIndex := func(t int) int {
+			if t > removed {
+				return t - 1
+			}
+			return t
+		}
+		for i, ri := range ins {
+			if i == removed {
+				continue
+			}
+			if ri.localTarget >= 0 {
+				ri.localTarget = newIndex(ri.localTarget)
+			}
+			out = append(out, ri)
+		}
+		for _, tb := range tables {
+			for j := range tb {
+				tb[j] = newIndex(tb[j])
+			}
+		}
+		ins = out
+	}
+}

@@ -1,0 +1,256 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+
+	"fits/internal/binimg"
+	"fits/internal/isa"
+)
+
+const sectionAlign = 0x100
+
+func align(v uint32, a uint32) uint32 {
+	return (v + a - 1) &^ (a - 1)
+}
+
+// Link compiles every function of p and lays out a complete binary image for
+// the given architecture: text (functions then PLT stubs), rodata (interned
+// strings), data (initialized globals then the GOT), and bss.
+//
+// Function names invoked by Call but not defined in p become imports with
+// PLT stubs; needed lists the libraries expected to provide them.
+func Link(p *Program, arch isa.Arch, needed []string) (*binimg.Binary, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !arch.Valid() {
+		return nil, fmt.Errorf("minic: %s: invalid architecture %d", p.Name, arch)
+	}
+
+	strs := map[string]bool{}
+	compiled := make([]*compiledFunc, 0, len(p.Funcs))
+	defined := map[string]bool{}
+	for _, f := range p.Funcs {
+		defined[f.Name] = true
+	}
+	for _, f := range p.Funcs {
+		cf, err := compileFunc(p, f, strs)
+		if err != nil {
+			return nil, err
+		}
+		compiled = append(compiled, cf)
+	}
+	// Strings referenced from global pointer tables are interned too.
+	for _, g := range p.Globals {
+		for _, pi := range g.Ptrs {
+			if pi.Str != "" {
+				strs[pi.Str] = true
+			}
+		}
+	}
+
+	// Collect imports: call targets and address-taken functions not defined
+	// here. Sorted for deterministic layout.
+	importSet := map[string]bool{}
+	for _, cf := range compiled {
+		for _, ri := range cf.ins {
+			if ri.callRef != "" && !defined[ri.callRef] {
+				importSet[ri.callRef] = true
+			}
+			if ri.fnRef != "" && !defined[ri.fnRef] {
+				importSet[ri.fnRef] = true
+			}
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for name := range importSet {
+		imports = append(imports, name)
+	}
+	sort.Strings(imports)
+
+	// Lay out text: functions in order, then one trampoline per import.
+	textBase := arch.Base()
+	funcAddr := map[string]uint32{}
+	addr := textBase
+	for _, cf := range compiled {
+		funcAddr[cf.fn.Name] = addr
+		addr += uint32(len(cf.ins) * isa.Width)
+	}
+	stubAddr := map[string]uint32{}
+	for _, name := range imports {
+		stubAddr[name] = addr
+		addr += isa.Width
+	}
+	textEnd := addr
+
+	// Lay out rodata: interned strings, NUL-terminated, sorted, followed
+	// by switch jump tables (case-entry addresses).
+	rodataBase := align(textEnd, sectionAlign)
+	strList := make([]string, 0, len(strs))
+	for s := range strs {
+		strList = append(strList, s)
+	}
+	sort.Strings(strList)
+	strAddr := map[string]uint32{}
+	var rodata []byte
+	for _, s := range strList {
+		strAddr[s] = rodataBase + uint32(len(rodata))
+		rodata = append(rodata, s...)
+		rodata = append(rodata, 0)
+	}
+	// Word-align the jump tables.
+	for len(rodata)%isa.WordSize != 0 {
+		rodata = append(rodata, 0)
+	}
+	type tableKey struct {
+		fn  string
+		tid int
+	}
+	tableAddr := map[tableKey]uint32{}
+	for _, cf := range compiled {
+		base := funcAddr[cf.fn.Name]
+		for tid, entries := range cf.tables {
+			tableAddr[tableKey{fn: cf.fn.Name, tid: tid}] = rodataBase + uint32(len(rodata))
+			for _, idx := range entries {
+				abs := base + uint32(idx*isa.Width)
+				rodata = append(rodata, byte(abs), byte(abs>>8), byte(abs>>16), byte(abs>>24))
+			}
+		}
+	}
+
+	// Lay out data: initialized globals, then the GOT.
+	dataBase := align(rodataBase+uint32(len(rodata)), sectionAlign)
+	globalAddr := map[string]uint32{}
+	var data []byte
+	for _, g := range p.Globals {
+		if g.Init == nil {
+			continue
+		}
+		globalAddr[g.Name] = dataBase + uint32(len(data))
+		data = append(data, g.Init...)
+	}
+	gotAddr := map[string]uint32{}
+	for _, name := range imports {
+		gotAddr[name] = dataBase + uint32(len(data))
+		data = append(data, 0, 0, 0, 0) // filled by the dynamic linker at runtime
+	}
+
+	// Lay out bss: uninitialized globals.
+	bssBase := align(dataBase+uint32(len(data)), sectionAlign)
+	bssOff := uint32(0)
+	for _, g := range p.Globals {
+		if g.Init != nil {
+			continue
+		}
+		globalAddr[g.Name] = bssBase + bssOff
+		bssOff += uint32(align(uint32(g.Size), isa.WordSize))
+	}
+
+	// Patch global pointer tables now that addresses are known.
+	for _, g := range p.Globals {
+		if g.Init == nil {
+			continue
+		}
+		base := globalAddr[g.Name] - dataBase
+		for _, pi := range g.Ptrs {
+			var v uint32
+			switch {
+			case pi.FuncName != "":
+				if a, ok := funcAddr[pi.FuncName]; ok {
+					v = a
+				} else if a, ok := stubAddr[pi.FuncName]; ok {
+					v = a
+				} else {
+					return nil, fmt.Errorf("minic: %s: global %q references unknown function %q", p.Name, g.Name, pi.FuncName)
+				}
+			case pi.Str != "":
+				v = strAddr[pi.Str]
+			}
+			off := base + uint32(pi.Off)
+			data[off] = byte(v)
+			data[off+1] = byte(v >> 8)
+			data[off+2] = byte(v >> 16)
+			data[off+3] = byte(v >> 24)
+		}
+	}
+
+	// Resolve instruction references and encode.
+	resolve := func(cf *compiledFunc) ([]isa.Instr, error) {
+		base := funcAddr[cf.fn.Name]
+		out := make([]isa.Instr, len(cf.ins))
+		for i, ri := range cf.ins {
+			in := ri.in
+			switch {
+			case ri.localTarget >= 0:
+				in.Imm = int32(base + uint32(ri.localTarget*isa.Width))
+			case ri.callRef != "":
+				if a, ok := funcAddr[ri.callRef]; ok {
+					in.Imm = int32(a)
+				} else {
+					in.Imm = int32(stubAddr[ri.callRef])
+				}
+			case ri.fnRef != "":
+				if a, ok := funcAddr[ri.fnRef]; ok {
+					in.Imm = int32(a)
+				} else if a, ok := stubAddr[ri.fnRef]; ok {
+					in.Imm = int32(a)
+				} else {
+					return nil, fmt.Errorf("minic: %s: unknown function reference %q", p.Name, ri.fnRef)
+				}
+			case ri.strRef != "":
+				in.Imm = int32(strAddr[ri.strRef])
+			case ri.jtRef1 > 0:
+				in.Imm = int32(tableAddr[tableKey{fn: cf.fn.Name, tid: ri.jtRef1 - 1}])
+			case ri.glbRef != "":
+				a, ok := globalAddr[ri.glbRef]
+				if !ok {
+					return nil, fmt.Errorf("minic: %s: %s references undefined global %q", p.Name, cf.fn.Name, ri.glbRef)
+				}
+				in.Imm = int32(a)
+			}
+			out[i] = in
+		}
+		return out, nil
+	}
+
+	var text []byte
+	for _, cf := range compiled {
+		ins, err := resolve(cf)
+		if err != nil {
+			return nil, err
+		}
+		text = append(text, arch.EncodeAll(ins)...)
+	}
+	for _, name := range imports {
+		var buf [isa.Width]byte
+		arch.Encode(isa.Instr{Op: isa.OpTramp, Imm: int32(gotAddr[name])}, buf[:])
+		text = append(text, buf[:]...)
+	}
+
+	bin := &binimg.Binary{
+		Name:    p.Name,
+		Arch:    arch,
+		Text:    binimg.Section{Addr: textBase, Data: text},
+		Rodata:  binimg.Section{Addr: rodataBase, Data: rodata},
+		Data:    binimg.Section{Addr: dataBase, Data: data},
+		BssAddr: bssBase,
+		BssSize: bssOff,
+		Needed:  append([]string(nil), needed...),
+	}
+	for _, name := range imports {
+		bin.Imports = append(bin.Imports, binimg.Import{Name: name, Stub: stubAddr[name], GOT: gotAddr[name]})
+	}
+	for _, f := range p.Funcs {
+		bin.Funcs = append(bin.Funcs, binimg.Sym{Name: f.Name, Addr: funcAddr[f.Name]})
+		if f.Exported {
+			bin.Exports = append(bin.Exports, binimg.Sym{Name: f.Name, Addr: funcAddr[f.Name]})
+		}
+	}
+	if a, ok := funcAddr["main"]; ok {
+		bin.Entry = a
+	} else if len(p.Funcs) > 0 {
+		bin.Entry = funcAddr[p.Funcs[0].Name]
+	}
+	return bin, nil
+}

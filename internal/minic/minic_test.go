@@ -1,0 +1,537 @@
+package minic
+
+import (
+	"testing"
+
+	"fits/internal/binimg"
+	"fits/internal/emu"
+	"fits/internal/isa"
+)
+
+// buildAndRun links a program for each architecture, runs fn under emulation
+// with args, and checks every architecture agrees on the result.
+func buildAndRun(t *testing.T, p *Program, fn string, want uint32, args ...uint32) {
+	t.Helper()
+	for _, arch := range []isa.Arch{isa.ArchARM, isa.ArchAARCH, isa.ArchMIPS} {
+		bin, err := Link(p, arch, nil)
+		if err != nil {
+			t.Fatalf("%v: link: %v", arch, err)
+		}
+		addr, ok := findFunc(bin, fn)
+		if !ok {
+			t.Fatalf("%v: function %q not found", arch, fn)
+		}
+		m := emu.New(bin)
+		m.Imports["external"] = func(m *emu.Machine) error {
+			m.Regs[isa.R0] = m.Regs[isa.R0] + 1000
+			return nil
+		}
+		got, err := m.CallFunction(addr, args...)
+		if err != nil {
+			t.Fatalf("%v: run %s: %v", arch, fn, err)
+		}
+		if got != want {
+			t.Errorf("%v: %s(%v) = %d, want %d", arch, fn, args, got, want)
+		}
+	}
+}
+
+func findFunc(bin *binimg.Binary, name string) (uint32, bool) {
+	return func() (uint32, bool) {
+		for _, f := range bin.Funcs {
+			if f.Name == name {
+				return f.Addr, true
+			}
+		}
+		return 0, false
+	}()
+}
+
+func TestReturnConstant(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", Body: []Stmt{Return{E: Int(41)}},
+	}}}
+	buildAndRun(t, p, "f", 41)
+}
+
+func TestArithmetic(t *testing.T) {
+	// (2+3)*4 - 6/2 = 17
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f",
+		Body: []Stmt{Return{E: Sub(
+			Mul(Add(Int(2), Int(3)), Int(4)),
+			Bin{Op: OpDiv, L: Int(6), R: Int(2)},
+		)}},
+	}}}
+	buildAndRun(t, p, "f", 17)
+}
+
+func TestBitOps(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 2,
+		Body: []Stmt{Return{E: Bin{Op: OpXor,
+			L: Bin{Op: OpAnd, L: Var("p0"), R: Var("p1")},
+			R: Bin{Op: OpOr, L: Var("p0"), R: Var("p1")},
+		}}},
+	}}}
+	buildAndRun(t, p, "f", 0b0110, 0b1100, 0b1010)
+}
+
+func TestShifts(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 1,
+		Body: []Stmt{Return{E: Bin{Op: OpShr,
+			L: Bin{Op: OpShl, L: Var("p0"), R: Int(4)}, R: Int(2)}}},
+	}}}
+	buildAndRun(t, p, "f", 20, 5)
+}
+
+func TestParamsAndLocals(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 3,
+		Body: []Stmt{
+			Let{Name: "x", E: Add(Var("p0"), Var("p1"))},
+			Let{Name: "y", E: Mul(Var("x"), Var("p2"))},
+			Assign{Name: "x", E: Add(Var("x"), Var("y"))},
+			Return{E: Var("x")},
+		},
+	}}}
+	// x=1+2=3; y=3*4=12; x=3+12=15
+	buildAndRun(t, p, "f", 15, 1, 2, 4)
+}
+
+func condFunc(op CmpOp) *Program {
+	return &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 2,
+		Body: []Stmt{
+			If{Cond: Cond{Op: op, L: Var("p0"), R: Var("p1")},
+				Then: []Stmt{Return{E: Int(1)}},
+				Else: []Stmt{Return{E: Int(0)}}},
+		},
+	}}}
+}
+
+func TestAllComparisons(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b uint32
+		want uint32
+	}{
+		{Eq, 5, 5, 1}, {Eq, 5, 6, 0},
+		{Ne, 5, 6, 1}, {Ne, 5, 5, 0},
+		{Lt, 4, 5, 1}, {Lt, 5, 5, 0}, {Lt, 6, 5, 0},
+		{Ge, 5, 5, 1}, {Ge, 6, 5, 1}, {Ge, 4, 5, 0},
+		{Gt, 6, 5, 1}, {Gt, 5, 5, 0}, {Gt, 4, 5, 0},
+		{Le, 5, 5, 1}, {Le, 4, 5, 1}, {Le, 6, 5, 0},
+	}
+	for _, c := range cases {
+		buildAndRun(t, condFunc(c.op), "f", c.want, c.a, c.b)
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	// -1 < 1 must hold with signed semantics.
+	buildAndRun(t, condFunc(Lt), "f", 1, 0xffffffff, 1)
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 1,
+		Body: []Stmt{
+			Let{Name: "r", E: Int(10)},
+			If{Cond: Cond{Op: Gt, L: Var("p0"), R: Int(5)},
+				Then: []Stmt{Assign{Name: "r", E: Int(20)}}},
+			Return{E: Var("r")},
+		},
+	}}}
+	buildAndRun(t, p, "f", 20, 9)
+	buildAndRun(t, p, "f", 10, 3)
+}
+
+func TestWhileSum(t *testing.T) {
+	// sum of 1..p0
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 1,
+		Body: []Stmt{
+			Let{Name: "i", E: Int(1)},
+			Let{Name: "s", E: Int(0)},
+			While{Cond: Cond{Op: Le, L: Var("i"), R: Var("p0")},
+				Body: []Stmt{
+					Assign{Name: "s", E: Add(Var("s"), Var("i"))},
+					Assign{Name: "i", E: Add(Var("i"), Int(1))},
+				}},
+			Return{E: Var("s")},
+		},
+	}}}
+	buildAndRun(t, p, "f", 55, 10)
+	buildAndRun(t, p, "f", 0, 0)
+}
+
+func TestRecursionAndCalleeSaved(t *testing.T) {
+	// fact(n) = n<=1 ? 1 : n*fact(n-1). The multiplication needs n to
+	// survive the recursive call, exercising callee-saved registers.
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "fact", NParams: 1,
+		Body: []Stmt{
+			If{Cond: Cond{Op: Le, L: Var("p0"), R: Int(1)},
+				Then: []Stmt{Return{E: Int(1)}}},
+			Return{E: Mul(Var("p0"), Call{Name: "fact", Args: []Expr{Sub(Var("p0"), Int(1))}})},
+		},
+	}}}
+	buildAndRun(t, p, "fact", 120, 5)
+}
+
+func TestCrossFunctionCalls(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{
+		{Name: "twice", NParams: 1, Body: []Stmt{Return{E: Mul(Var("p0"), Int(2))}}},
+		{Name: "f", NParams: 2, Body: []Stmt{
+			Return{E: Add(
+				Call{Name: "twice", Args: []Expr{Var("p0")}},
+				Call{Name: "twice", Args: []Expr{Var("p1")}},
+			)},
+		}},
+	}}
+	buildAndRun(t, p, "f", 2*3+2*4, 3, 4)
+}
+
+func TestGlobalsDataAndBss(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Globals: []*Global{
+			{Name: "counter", Size: 4}, // bss
+			{Name: "table", Size: 8, Init: []byte{7, 0, 0, 0, 9, 0, 0, 0}},
+		},
+		Funcs: []*Func{{
+			Name: "f", NParams: 1,
+			Body: []Stmt{
+				StoreStmt{Size: 4, Addr: GlobalRef("counter"), Val: Int(5)},
+				Return{E: Add(
+					LoadW(GlobalRef("counter")),
+					LoadW(Add(GlobalRef("table"), Mul(Var("p0"), Int(4)))),
+				)},
+			},
+		}},
+	}
+	buildAndRun(t, p, "f", 12, 0) // 5 + table[0]=7
+	buildAndRun(t, p, "f", 14, 1) // 5 + table[1]=9
+}
+
+func TestStringsAndByteAccess(t *testing.T) {
+	// strlen over an interned rodata string.
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "strlen_lit",
+		Body: []Stmt{
+			Let{Name: "s", E: Str("hello")},
+			Let{Name: "n", E: Int(0)},
+			While{Cond: Truthy(LoadB(Add(Var("s"), Var("n")))),
+				Body: []Stmt{Assign{Name: "n", E: Add(Var("n"), Int(1))}}},
+			Return{E: Var("n")},
+		},
+	}}}
+	buildAndRun(t, p, "strlen_lit", 5)
+}
+
+func TestByteStoreToBss(t *testing.T) {
+	p := &Program{
+		Name:    "t",
+		Globals: []*Global{{Name: "buf", Size: 16}},
+		Funcs: []*Func{{
+			Name: "f",
+			Body: []Stmt{
+				StoreStmt{Size: 1, Addr: GlobalRef("buf"), Val: Int('A')},
+				StoreStmt{Size: 1, Addr: Add(GlobalRef("buf"), Int(1)), Val: Int('B')},
+				Return{E: Add(
+					LoadB(GlobalRef("buf")),
+					LoadB(Add(GlobalRef("buf"), Int(1))),
+				)},
+			},
+		}},
+	}
+	buildAndRun(t, p, "f", 'A'+'B')
+}
+
+func TestIndirectCallThroughTable(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Globals: []*Global{{
+			Name: "handlers", Size: 8,
+			Init: make([]byte, 8),
+			Ptrs: []PtrInit{{Off: 0, FuncName: "h0"}, {Off: 4, FuncName: "h1"}},
+		}},
+		Funcs: []*Func{
+			{Name: "h0", NParams: 1, Body: []Stmt{Return{E: Add(Var("p0"), Int(100))}}},
+			{Name: "h1", NParams: 1, Body: []Stmt{Return{E: Add(Var("p0"), Int(200))}}},
+			{Name: "dispatch", NParams: 2, Body: []Stmt{
+				Return{E: CallInd{Table: "handlers", Index: Var("p0"), Args: []Expr{Var("p1")}}},
+			}},
+		},
+	}
+	buildAndRun(t, p, "dispatch", 107, 0, 7)
+	buildAndRun(t, p, "dispatch", 207, 1, 7)
+}
+
+func TestImportCallViaPLT(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 1,
+		Body: []Stmt{Return{E: Call{Name: "external", Args: []Expr{Var("p0")}}}},
+	}}}
+	// The test harness installs "external" as r0+1000.
+	buildAndRun(t, p, "f", 1007, 7)
+
+	bin, err := Link(p, isa.ArchARM, []string{"libext.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Imports) != 1 || bin.Imports[0].Name != "external" {
+		t.Fatalf("imports = %+v", bin.Imports)
+	}
+	if len(bin.Needed) != 1 || bin.Needed[0] != "libext.so" {
+		t.Fatalf("needed = %v", bin.Needed)
+	}
+	// The stub must be a trampoline through the import's GOT slot.
+	in, err := bin.InstrAt(bin.Imports[0].Stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.OpTramp || uint32(in.Imm) != bin.Imports[0].GOT {
+		t.Errorf("stub = %v", in)
+	}
+}
+
+func TestFuncAddrOfImportAndLocal(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{
+		{Name: "g", Body: []Stmt{Return{E: Int(1)}}},
+		{Name: "f", Body: []Stmt{
+			Let{Name: "a", E: FuncAddr("g")},
+			Let{Name: "b", E: FuncAddr("external")},
+			Return{E: Sub(Var("b"), Var("a"))},
+		}},
+	}}
+	bin, err := Link(p, isa.ArchARM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Imports) != 1 {
+		t.Fatalf("imports = %+v", bin.Imports)
+	}
+}
+
+func TestSyscallStmt(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f",
+		Body: []Stmt{Syscall{Num: 42}, Return{E: nil}},
+	}}}
+	bin, err := Link(p, isa.ArchARM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(bin)
+	m.Sys = func(m *emu.Machine, num int32) error {
+		m.Regs[isa.R0] = uint32(num) * 2
+		return nil
+	}
+	addr, _ := findFunc(bin, "f")
+	got, err := m.CallFunction(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 84 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestExportsAndEntry(t *testing.T) {
+	p := &Program{Name: "lib", Library: true, Funcs: []*Func{
+		{Name: "helper", Exported: false, Body: []Stmt{Return{E: Int(0)}}},
+		{Name: "api", Exported: true, Body: []Stmt{Return{E: Int(0)}}},
+		{Name: "main", Body: []Stmt{Return{E: Int(0)}}},
+	}}
+	bin, err := Link(p, isa.ArchARM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Exports) != 1 || bin.Exports[0].Name != "api" {
+		t.Errorf("exports = %+v", bin.Exports)
+	}
+	mainAddr, _ := findFunc(bin, "main")
+	if bin.Entry != mainAddr {
+		t.Errorf("entry = %#x, want main %#x", bin.Entry, mainAddr)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []*Program{
+		// undefined variable
+		{Name: "t", Funcs: []*Func{{Name: "f", Body: []Stmt{Return{E: Var("nope")}}}}},
+		// assignment to undefined variable
+		{Name: "t", Funcs: []*Func{{Name: "f", Body: []Stmt{Assign{Name: "x", E: Int(1)}}}}},
+		// redeclared variable
+		{Name: "t", Funcs: []*Func{{Name: "f", Body: []Stmt{
+			Let{Name: "x", E: Int(1)}, Let{Name: "x", E: Int(2)},
+		}}}},
+		// duplicate function
+		{Name: "t", Funcs: []*Func{{Name: "f"}, {Name: "f"}}},
+		// too many params
+		{Name: "t", Funcs: []*Func{{Name: "f", NParams: 5}}},
+		// global init size mismatch
+		{Name: "t", Globals: []*Global{{Name: "g", Size: 8, Init: []byte{1}}},
+			Funcs: []*Func{{Name: "f"}}},
+		// global pointer out of range
+		{Name: "t", Globals: []*Global{{Name: "g", Size: 4, Init: make([]byte, 4),
+			Ptrs: []PtrInit{{Off: 2, FuncName: "f"}}}},
+			Funcs: []*Func{{Name: "f"}}},
+		// undefined global reference
+		{Name: "t", Funcs: []*Func{{Name: "f", Body: []Stmt{Return{E: LoadW(GlobalRef("gone"))}}}}},
+		// pointer init with both fields
+		{Name: "t", Globals: []*Global{{Name: "g", Size: 4, Init: make([]byte, 4),
+			Ptrs: []PtrInit{{Off: 0, FuncName: "f", Str: "s"}}}},
+			Funcs: []*Func{{Name: "f"}}},
+		// unknown function in pointer table
+		{Name: "t", Globals: []*Global{{Name: "g", Size: 4, Init: make([]byte, 4),
+			Ptrs: []PtrInit{{Off: 0, FuncName: "ghost_with_no_call"}}}},
+			Funcs: []*Func{{Name: "f"}}},
+	}
+	for i, p := range cases {
+		if _, err := Link(p, isa.ArchARM, nil); err == nil {
+			t.Errorf("case %d: expected link error", i)
+		}
+	}
+}
+
+func TestExpressionTooDeep(t *testing.T) {
+	deep := Expr(Int(1))
+	for i := 0; i < 12; i++ {
+		deep = Add(Int(1), deep)
+	}
+	p := &Program{Name: "t", Funcs: []*Func{{Name: "f", Body: []Stmt{Return{E: deep}}}}}
+	if _, err := Link(p, isa.ArchARM, nil); err == nil {
+		t.Error("expected depth error")
+	}
+}
+
+func TestDeterministicLink(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f",
+		Body: []Stmt{
+			ExprStmt{E: Call{Name: "zeta", Args: nil}},
+			ExprStmt{E: Call{Name: "alpha", Args: nil}},
+			Let{Name: "s", E: Str("bb")},
+			Let{Name: "q", E: Str("aa")},
+			Return{E: Int(0)},
+		},
+	}}}
+	a, err := Link(p, isa.ArchARM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Link(p, isa.ArchARM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Error("link output not deterministic")
+	}
+	// Imports sorted by name.
+	if a.Imports[0].Name != "alpha" || a.Imports[1].Name != "zeta" {
+		t.Errorf("imports not sorted: %+v", a.Imports)
+	}
+}
+
+func TestStringInterningViaGlobalPtrs(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Globals: []*Global{{
+			Name: "keys", Size: 4, Init: make([]byte, 4),
+			Ptrs: []PtrInit{{Off: 0, Str: "username"}},
+		}},
+		Funcs: []*Func{{Name: "f", Body: []Stmt{
+			// Return the first byte of the string the table points at.
+			Return{E: LoadB(LoadW(GlobalRef("keys")))},
+		}}},
+	}
+	buildAndRun(t, p, "f", 'u')
+}
+
+func TestSwitchJumpTable(t *testing.T) {
+	// switch p0 { case 0: 100; case 1: 200; case 2: p0*7 } default: -1
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "sel", NParams: 1,
+		Body: []Stmt{
+			Switch{
+				E: Var("p0"),
+				Cases: [][]Stmt{
+					{Return{E: Int(100)}},
+					{Return{E: Int(200)}},
+					{Return{E: Mul(Var("p0"), Int(7))}},
+				},
+				Default: []Stmt{Return{E: Int(0xffff)}},
+			},
+		},
+	}}}
+	buildAndRun(t, p, "sel", 100, 0)
+	buildAndRun(t, p, "sel", 200, 1)
+	buildAndRun(t, p, "sel", 14, 2)
+	buildAndRun(t, p, "sel", 0xffff, 3)          // past the table
+	buildAndRun(t, p, "sel", 0xffff, 0x80000000) // negative selector
+}
+
+func TestSwitchFallThroughCases(t *testing.T) {
+	// Cases without Return jump to the end of the switch.
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 1,
+		Body: []Stmt{
+			Let{Name: "x", E: Int(1)},
+			Switch{
+				E: Var("p0"),
+				Cases: [][]Stmt{
+					{Assign{Name: "x", E: Int(10)}},
+					{Assign{Name: "x", E: Int(20)}},
+				},
+				Default: []Stmt{Assign{Name: "x", E: Int(30)}},
+			},
+			Return{E: Add(Var("x"), Int(5))},
+		},
+	}}}
+	buildAndRun(t, p, "f", 15, 0)
+	buildAndRun(t, p, "f", 25, 1)
+	buildAndRun(t, p, "f", 35, 9)
+}
+
+func TestEmptySwitch(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 1,
+		Body: []Stmt{
+			Switch{E: Var("p0"), Default: []Stmt{Return{E: Int(7)}}},
+			Return{E: Int(0)},
+		},
+	}}}
+	buildAndRun(t, p, "f", 7, 3)
+}
+
+func TestNestedSwitch(t *testing.T) {
+	p := &Program{Name: "t", Funcs: []*Func{{
+		Name: "f", NParams: 2,
+		Body: []Stmt{
+			Switch{
+				E: Var("p0"),
+				Cases: [][]Stmt{
+					{Switch{
+						E: Var("p1"),
+						Cases: [][]Stmt{
+							{Return{E: Int(11)}},
+							{Return{E: Int(12)}},
+						},
+						Default: []Stmt{Return{E: Int(19)}},
+					}},
+					{Return{E: Int(2)}},
+				},
+				Default: []Stmt{Return{E: Int(9)}},
+			},
+		},
+	}}}
+	buildAndRun(t, p, "f", 11, 0, 0)
+	buildAndRun(t, p, "f", 12, 0, 1)
+	buildAndRun(t, p, "f", 19, 0, 5)
+	buildAndRun(t, p, "f", 2, 1, 0)
+	buildAndRun(t, p, "f", 9, 4, 0)
+}

@@ -1,0 +1,153 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fits/internal/bfv"
+)
+
+func TestCosineBasics(t *testing.T) {
+	a := bfv.Vector{1, 2, 3}
+	if s := Similarity(Cosine, a, a); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self similarity = %g", s)
+	}
+	// Scaled vectors have cosine similarity 1: relative, not absolute.
+	b := bfv.Vector{2, 4, 6}
+	if s := Similarity(Cosine, a, b); math.Abs(s-1) > 1e-9 {
+		t.Errorf("scaled similarity = %g", s)
+	}
+	// Orthogonal vectors score 0.
+	x := bfv.Vector{1, 0}
+	y := bfv.Vector{0, 1}
+	if s := Similarity(Cosine, x, y); math.Abs(s) > 1e-9 {
+		t.Errorf("orthogonal similarity = %g", s)
+	}
+	// Zero vector scores 0 without NaN.
+	if s := Similarity(Cosine, bfv.Vector{}, a); s != 0 || math.IsNaN(s) {
+		t.Errorf("zero similarity = %g", s)
+	}
+}
+
+func TestEuclideanAndManhattan(t *testing.T) {
+	a := bfv.Vector{1, 1}
+	if s := Similarity(Euclidean, a, a); s != 1 {
+		t.Errorf("euclidean self = %g", s)
+	}
+	if s := Similarity(Manhattan, a, a); s != 1 {
+		t.Errorf("manhattan self = %g", s)
+	}
+	b := bfv.Vector{4, 5}
+	// euclidean distance = 5 -> 1/6.
+	if s := Similarity(Euclidean, a, b); math.Abs(s-1.0/6) > 1e-9 {
+		t.Errorf("euclidean = %g", s)
+	}
+	// manhattan distance = 7 -> 1/8.
+	if s := Similarity(Manhattan, a, b); math.Abs(s-1.0/8) > 1e-9 {
+		t.Errorf("manhattan = %g", s)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := bfv.Vector{1, 2, 3, 4}
+	b := bfv.Vector{2, 4, 6, 8}
+	if s := Similarity(Pearson, a, b); math.Abs(s-1) > 1e-9 {
+		t.Errorf("correlated = %g", s)
+	}
+	var up, down bfv.Vector
+	for i := 0; i < bfv.Dim; i++ {
+		up[i] = float64(i)
+		down[i] = float64(bfv.Dim - i)
+	}
+	if s := Similarity(Pearson, up, down); math.Abs(s+1) > 1e-9 {
+		t.Errorf("anti-correlated = %g, want -1", s)
+	}
+	// Constant vector: zero variance -> 0.
+	d := bfv.Vector{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}
+	if s := Similarity(Pearson, a, d); s != 0 {
+		t.Errorf("constant = %g", s)
+	}
+}
+
+func TestScoreIsMeanOverAnchors(t *testing.T) {
+	v := bfv.Vector{1, 0}
+	anchors := []bfv.Vector{{1, 0}, {0, 1}}
+	got := Score(Cosine, v, anchors)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("score = %g, want 0.5", got)
+	}
+	if Score(Cosine, v, nil) != 0 {
+		t.Error("empty anchors should score 0")
+	}
+}
+
+func TestRankOrderingAndDeterminism(t *testing.T) {
+	anchors := []bfv.Vector{{10, 1, 2, 3, 3, 5, 1, 1, 1, 1, 2}}
+	cands := map[uint32]bfv.Vector{
+		0x100: {10, 1, 2, 3, 3, 5, 1, 1, 1, 1, 2}, // identical to anchor
+		0x200: {1, 0, 50, 1, 0, 0, 0, 0, 0, 0, 0}, // dissimilar
+		0x300: {9, 1, 2, 3, 3, 4, 1, 1, 1, 1, 2},  // close
+	}
+	r := Rank(Cosine, cands, anchors)
+	if len(r) != 3 {
+		t.Fatalf("len = %d", len(r))
+	}
+	if r[0].Entry != 0x100 || r[2].Entry != 0x200 {
+		t.Errorf("order = %+v", r)
+	}
+	if r[0].Score < r[1].Score || r[1].Score < r[2].Score {
+		t.Error("scores not descending")
+	}
+	// Ties break by entry address.
+	tie := map[uint32]bfv.Vector{0x500: {1, 1}, 0x400: {2, 2}}
+	rt := Rank(Cosine, tie, []bfv.Vector{{3, 3}})
+	if rt[0].Entry != 0x400 {
+		t.Errorf("tie order = %+v", rt)
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	for _, m := range []Metric{Cosine, Euclidean, Manhattan, Pearson} {
+		if m.String() == "" {
+			t.Errorf("empty name for %d", m)
+		}
+	}
+	if Metric(99).String() == "" {
+		t.Error("unknown metric stringer empty")
+	}
+}
+
+// Properties: similarity is symmetric, self-similarity is maximal for
+// distance metrics, and never NaN.
+func TestQuickSimilarityProperties(t *testing.T) {
+	metrics := []Metric{Cosine, Euclidean, Manhattan, Pearson}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var a, b bfv.Vector
+		for i := 0; i < bfv.Dim; i++ {
+			a[i] = float64(r.Intn(40))
+			b[i] = float64(r.Intn(40))
+		}
+		for _, m := range metrics {
+			ab := Similarity(m, a, b)
+			ba := Similarity(m, b, a)
+			if math.IsNaN(ab) || math.Abs(ab-ba) > 1e-9 {
+				return false
+			}
+			if m == Euclidean || m == Manhattan {
+				if Similarity(m, a, a) < ab-1e-9 {
+					return false
+				}
+			}
+			if m == Cosine && (ab < -1-1e-9 || ab > 1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fits/internal/minic"
+)
+
+// System primitive numbers used by libc implementations. The emulator's
+// support handler (package emu users) and the generated code agree on them.
+const (
+	SysRecv = iota + 1
+	SysRead
+	SysRecvfrom
+	SysFgets
+	SysGets
+	SysGetenv
+	SysBIORead
+	SysFread
+	SysSocket
+	SysBind
+	SysListen
+	SysAccept
+	SysSprintf
+	SysSnprintf
+	SysPrintf
+	SysFprintf
+	SysSystem
+	SysExecve
+	SysPopen
+	SysExit
+)
+
+// sysFuncs are the libc functions implemented as system primitives: the
+// interface functions (sources), the risky functions (sinks) and odds and
+// ends. Arity is the parameter count.
+var sysFuncs = []struct {
+	name  string
+	arity int
+	num   int32
+}{
+	{"recv", 4, SysRecv},
+	{"read", 3, SysRead},
+	{"recvfrom", 4, SysRecvfrom},
+	{"fgets", 3, SysFgets},
+	{"gets", 1, SysGets},
+	{"getenv", 1, SysGetenv},
+	{"BIO_read", 3, SysBIORead},
+	{"fread", 4, SysFread},
+	{"socket", 3, SysSocket},
+	{"bind", 3, SysBind},
+	{"listen", 2, SysListen},
+	{"accept", 3, SysAccept},
+	{"sprintf", 4, SysSprintf},
+	{"snprintf", 4, SysSnprintf},
+	{"printf", 3, SysPrintf},
+	{"fprintf", 4, SysFprintf},
+	{"system", 1, SysSystem},
+	{"execve", 3, SysExecve},
+	{"popen", 2, SysPopen},
+	{"exit", 1, SysExit},
+}
+
+// LibcProgram builds the shared C library of a firmware sample. Anchor
+// functions are implemented as genuine loops over memory so that their
+// behavioral feature vectors are extracted from real code, exactly as the
+// paper extracts anchors from the firmware's own dependency libraries.
+// r varies incidental details so that every vendor ships a slightly
+// different libc build.
+func LibcProgram(r *rand.Rand) *minic.Program {
+	p := &minic.Program{
+		Name:    "libc.so",
+		Library: true,
+		Globals: []*minic.Global{
+			{Name: "__heap", Size: 1 << 16},
+			{Name: "__brk", Size: 4},
+			{Name: "__errstr", Size: 4, Init: make([]byte, 4),
+				Ptrs: []minic.PtrInit{{Off: 0, Str: "libc: internal error"}}},
+		},
+	}
+	exp := func(name string, nparams int, body []minic.Stmt) {
+		p.Funcs = append(p.Funcs, &minic.Func{Name: name, NParams: nparams, Exported: true, Body: body})
+	}
+	intern := func(name string, nparams int, body []minic.Stmt) {
+		p.Funcs = append(p.Funcs, &minic.Func{Name: name, NParams: nparams, Body: body})
+	}
+
+	v := func(name string) minic.Expr { return minic.Var(name) }
+	i32 := func(x int32) minic.Expr { return minic.Int(x) }
+
+	// strlen(s): scan for NUL.
+	exp("strlen", 1, []minic.Stmt{
+		minic.Let{Name: "n", E: i32(0)},
+		minic.While{Cond: minic.Truthy(minic.LoadB(minic.Add(v("p0"), v("n")))),
+			Body: []minic.Stmt{minic.Assign{Name: "n", E: minic.Add(v("n"), i32(1))}}},
+		minic.Return{E: v("n")},
+	})
+
+	// strcpy(dst, src): copy through NUL, return dst.
+	exp("strcpy", 2, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.Let{Name: "c", E: minic.LoadB(v("p1"))},
+		minic.While{Cond: minic.Truthy(v("c")), Body: []minic.Stmt{
+			minic.StoreStmt{Size: 1, Addr: minic.Add(v("p0"), v("i")), Val: v("c")},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+			minic.Assign{Name: "c", E: minic.LoadB(minic.Add(v("p1"), v("i")))},
+		}},
+		minic.StoreStmt{Size: 1, Addr: minic.Add(v("p0"), v("i")), Val: i32(0)},
+		minic.Return{E: v("p0")},
+	})
+
+	// strncpy(dst, src, n).
+	exp("strncpy", 3, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.While{Cond: minic.Cond{Op: minic.Lt, L: v("i"), R: v("p2")}, Body: []minic.Stmt{
+			minic.Let{Name: "c", E: minic.LoadB(minic.Add(v("p1"), v("i")))},
+			minic.StoreStmt{Size: 1, Addr: minic.Add(v("p0"), v("i")), Val: v("c")},
+			minic.If{Cond: minic.Cond{Op: minic.Eq, L: v("c"), R: i32(0)},
+				Then: []minic.Stmt{minic.Return{E: v("p0")}}},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+		}},
+		minic.Return{E: v("p0")},
+	})
+
+	// strcat(dst, src): append, using strlen.
+	exp("strcat", 2, []minic.Stmt{
+		minic.Let{Name: "n", E: minic.Call{Name: "strlen", Args: []minic.Expr{v("p0")}}},
+		minic.ExprStmt{E: minic.Call{Name: "strcpy", Args: []minic.Expr{minic.Add(v("p0"), v("n")), v("p1")}}},
+		minic.Return{E: v("p0")},
+	})
+
+	// strncat(dst, src, n).
+	exp("strncat", 3, []minic.Stmt{
+		minic.Let{Name: "n", E: minic.Call{Name: "strlen", Args: []minic.Expr{v("p0")}}},
+		minic.ExprStmt{E: minic.Call{Name: "strncpy", Args: []minic.Expr{minic.Add(v("p0"), v("n")), v("p1"), v("p2")}}},
+		minic.Return{E: v("p0")},
+	})
+
+	// strcmp(a, b).
+	exp("strcmp", 2, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.Let{Name: "ca", E: minic.LoadB(v("p0"))},
+		minic.Let{Name: "cb", E: minic.LoadB(v("p1"))},
+		minic.While{Cond: minic.Cond{Op: minic.Eq, L: v("ca"), R: v("cb")}, Body: []minic.Stmt{
+			minic.If{Cond: minic.Cond{Op: minic.Eq, L: v("ca"), R: i32(0)},
+				Then: []minic.Stmt{minic.Return{E: i32(0)}}},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+			minic.Assign{Name: "ca", E: minic.LoadB(minic.Add(v("p0"), v("i")))},
+			minic.Assign{Name: "cb", E: minic.LoadB(minic.Add(v("p1"), v("i")))},
+		}},
+		minic.Return{E: minic.Sub(v("ca"), v("cb"))},
+	})
+
+	// strncmp(a, b, n).
+	exp("strncmp", 3, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.While{Cond: minic.Cond{Op: minic.Lt, L: v("i"), R: v("p2")}, Body: []minic.Stmt{
+			minic.Let{Name: "ca", E: minic.LoadB(minic.Add(v("p0"), v("i")))},
+			minic.Let{Name: "cb", E: minic.LoadB(minic.Add(v("p1"), v("i")))},
+			minic.If{Cond: minic.Cond{Op: minic.Ne, L: v("ca"), R: v("cb")},
+				Then: []minic.Stmt{minic.Return{E: minic.Sub(v("ca"), v("cb"))}}},
+			minic.If{Cond: minic.Cond{Op: minic.Eq, L: v("ca"), R: i32(0)},
+				Then: []minic.Stmt{minic.Return{E: i32(0)}}},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+		}},
+		minic.Return{E: i32(0)},
+	})
+
+	// strchr(s, c).
+	exp("strchr", 2, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.Let{Name: "ch", E: minic.LoadB(v("p0"))},
+		minic.While{Cond: minic.Truthy(v("ch")), Body: []minic.Stmt{
+			minic.If{Cond: minic.Cond{Op: minic.Eq, L: v("ch"), R: v("p1")},
+				Then: []minic.Stmt{minic.Return{E: minic.Add(v("p0"), v("i"))}}},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+			minic.Assign{Name: "ch", E: minic.LoadB(minic.Add(v("p0"), v("i")))},
+		}},
+		minic.Return{E: i32(0)},
+	})
+
+	// strstr(haystack, needle): scan with strncmp, as in Figure 2.
+	exp("strstr", 2, []minic.Stmt{
+		minic.Let{Name: "nl", E: minic.Call{Name: "strlen", Args: []minic.Expr{v("p1")}}},
+		minic.Let{Name: "i", E: i32(0)},
+		minic.While{Cond: minic.Truthy(minic.LoadB(minic.Add(v("p0"), v("i")))), Body: []minic.Stmt{
+			minic.If{Cond: minic.Cond{Op: minic.Eq,
+				L: minic.Call{Name: "strncmp", Args: []minic.Expr{minic.Add(v("p0"), v("i")), v("p1"), v("nl")}},
+				R: i32(0)},
+				Then: []minic.Stmt{minic.Return{E: minic.Add(v("p0"), v("i"))}}},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+		}},
+		minic.Return{E: i32(0)},
+	})
+
+	// memcpy(dst, src, n) / memmove.
+	copyBody := func() []minic.Stmt {
+		return []minic.Stmt{
+			minic.Let{Name: "i", E: i32(0)},
+			minic.While{Cond: minic.Cond{Op: minic.Lt, L: v("i"), R: v("p2")}, Body: []minic.Stmt{
+				minic.StoreStmt{Size: 1, Addr: minic.Add(v("p0"), v("i")),
+					Val: minic.LoadB(minic.Add(v("p1"), v("i")))},
+				minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+			}},
+			minic.Return{E: v("p0")},
+		}
+	}
+	exp("memcpy", 3, copyBody())
+	exp("memmove", 3, copyBody())
+
+	// memcmp(a, b, n).
+	exp("memcmp", 3, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.While{Cond: minic.Cond{Op: minic.Lt, L: v("i"), R: v("p2")}, Body: []minic.Stmt{
+			minic.Let{Name: "d", E: minic.Sub(minic.LoadB(minic.Add(v("p0"), v("i"))),
+				minic.LoadB(minic.Add(v("p1"), v("i"))))},
+			minic.If{Cond: minic.Truthy(v("d")), Then: []minic.Stmt{minic.Return{E: v("d")}}},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+		}},
+		minic.Return{E: i32(0)},
+	})
+
+	// memchr(s, c, n).
+	exp("memchr", 3, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.While{Cond: minic.Cond{Op: minic.Lt, L: v("i"), R: v("p2")}, Body: []minic.Stmt{
+			minic.If{Cond: minic.Cond{Op: minic.Eq, L: minic.LoadB(minic.Add(v("p0"), v("i"))), R: v("p1")},
+				Then: []minic.Stmt{minic.Return{E: minic.Add(v("p0"), v("i"))}}},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+		}},
+		minic.Return{E: i32(0)},
+	})
+
+	// memset(s, c, n).
+	exp("memset", 3, []minic.Stmt{
+		minic.Let{Name: "i", E: i32(0)},
+		minic.While{Cond: minic.Cond{Op: minic.Lt, L: v("i"), R: v("p2")}, Body: []minic.Stmt{
+			minic.StoreStmt{Size: 1, Addr: minic.Add(v("p0"), v("i")), Val: v("p1")},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+		}},
+		minic.Return{E: v("p0")},
+	})
+
+	// atoi(s): digit loop.
+	exp("atoi", 1, []minic.Stmt{
+		minic.Let{Name: "n", E: i32(0)},
+		minic.Let{Name: "i", E: i32(0)},
+		minic.Let{Name: "c", E: minic.LoadB(v("p0"))},
+		minic.While{Cond: minic.Cond{Op: minic.Ge, L: v("c"), R: i32('0')}, Body: []minic.Stmt{
+			minic.If{Cond: minic.Cond{Op: minic.Gt, L: v("c"), R: i32('9')},
+				Then: []minic.Stmt{minic.Return{E: v("n")}}},
+			minic.Assign{Name: "n", E: minic.Add(minic.Mul(v("n"), i32(10)), minic.Sub(v("c"), i32('0')))},
+			minic.Assign{Name: "i", E: minic.Add(v("i"), i32(1))},
+			minic.Assign{Name: "c", E: minic.LoadB(minic.Add(v("p0"), v("i")))},
+		}},
+		minic.Return{E: v("n")},
+	})
+
+	// malloc(n): bump allocator over the library heap, word-aligned.
+	exp("malloc", 1, []minic.Stmt{
+		minic.Let{Name: "p", E: minic.LoadW(minic.GlobalRef("__brk"))},
+		minic.If{Cond: minic.Cond{Op: minic.Eq, L: v("p"), R: i32(0)},
+			Then: []minic.Stmt{minic.Assign{Name: "p", E: minic.GlobalRef("__heap")}}},
+		minic.StoreStmt{Size: 4, Addr: minic.GlobalRef("__brk"),
+			Val: minic.Add(v("p"), minic.Bin{Op: minic.OpAnd, L: minic.Add(v("p0"), i32(7)), R: i32(-8)})},
+		minic.Return{E: v("p")},
+	})
+	exp("calloc", 2, []minic.Stmt{
+		minic.Let{Name: "p", E: minic.Call{Name: "malloc", Args: []minic.Expr{minic.Mul(v("p0"), v("p1"))}}},
+		minic.ExprStmt{E: minic.Call{Name: "memset", Args: []minic.Expr{v("p"), i32(0), minic.Mul(v("p0"), v("p1"))}}},
+		minic.Return{E: v("p")},
+	})
+	exp("free", 1, []minic.Stmt{minic.Return{E: i32(0)}})
+
+	// System-primitive functions.
+	for _, sf := range sysFuncs {
+		exp(sf.name, sf.arity, []minic.Stmt{
+			minic.Syscall{Num: sf.num},
+			minic.Return{E: nil},
+		})
+	}
+
+	// Internal helpers that call anchors with string literals, so the
+	// anchors' interprocedural features (callers, string arguments) are
+	// populated from real call sites inside the library.
+	intern("__assert_fail", 1, []minic.Stmt{
+		minic.ExprStmt{E: minic.Call{Name: "strlen", Args: []minic.Expr{v("p0")}}},
+		minic.ExprStmt{E: minic.Call{Name: "fprintf", Args: []minic.Expr{i32(2), minic.Str("assertion failed: %s"), v("p0")}}},
+		minic.ExprStmt{E: minic.Call{Name: "exit", Args: []minic.Expr{i32(1)}}},
+		minic.Return{E: i32(0)},
+	})
+	intern("__locale_is", 1, []minic.Stmt{
+		minic.Return{E: minic.Call{Name: "strcmp", Args: []minic.Expr{v("p0"), minic.Str("en_US")}}},
+	})
+	intern("__find_proto", 1, []minic.Stmt{
+		minic.Return{E: minic.Call{Name: "strstr", Args: []minic.Expr{v("p0"), minic.Str("http://")}}},
+	})
+	intern("__copy_default", 1, []minic.Stmt{
+		minic.Return{E: minic.Call{Name: "strcpy", Args: []minic.Expr{v("p0"), minic.Str("admin")}}},
+	})
+	intern("__check_magic", 1, []minic.Stmt{
+		minic.Return{E: minic.Call{Name: "strncmp", Args: []minic.Expr{v("p0"), minic.Str("HDR1"), i32(4)}}},
+	})
+	intern("__dup_small", 1, []minic.Stmt{
+		minic.Let{Name: "n", E: minic.Call{Name: "strlen", Args: []minic.Expr{v("p0")}}},
+		minic.Let{Name: "q", E: minic.Call{Name: "malloc", Args: []minic.Expr{minic.Add(v("n"), i32(1))}}},
+		minic.ExprStmt{E: minic.Call{Name: "memcpy", Args: []minic.Expr{v("q"), v("p0"), minic.Add(v("n"), i32(1))}}},
+		minic.Return{E: v("q")},
+	})
+	// Entry that exercises the internal helpers.
+	intern("__libc_init", 0, []minic.Stmt{
+		minic.ExprStmt{E: minic.Call{Name: "__locale_is", Args: []minic.Expr{minic.Str("en_US")}}},
+		minic.ExprStmt{E: minic.Call{Name: "__find_proto", Args: []minic.Expr{minic.Str("http://device.local")}}},
+		minic.ExprStmt{E: minic.Call{Name: "__check_magic", Args: []minic.Expr{minic.Str("HDR1")}}},
+		minic.ExprStmt{E: minic.Call{Name: "__dup_small", Args: []minic.Expr{minic.Str("admin")}}},
+		minic.ExprStmt{E: minic.Call{Name: "memchr", Args: []minic.Expr{minic.Str("abc"), i32('b'), i32(3)}}},
+		minic.ExprStmt{E: minic.Call{Name: "memmove", Args: []minic.Expr{minic.GlobalRef("__heap"), minic.Str("seed"), i32(4)}}},
+		minic.ExprStmt{E: minic.Call{Name: "strncat", Args: []minic.Expr{minic.GlobalRef("__heap"), minic.Str("x"), i32(1)}}},
+		minic.ExprStmt{E: minic.Call{Name: "strcat", Args: []minic.Expr{minic.GlobalRef("__heap"), minic.Str("y")}}},
+		minic.ExprStmt{E: minic.Call{Name: "strchr", Args: []minic.Expr{minic.Str("path/x"), i32('/')}}},
+		minic.ExprStmt{E: minic.Call{Name: "strncpy", Args: []minic.Expr{minic.GlobalRef("__heap"), minic.Str("dflt"), i32(4)}}},
+		minic.ExprStmt{E: minic.Call{Name: "memcmp", Args: []minic.Expr{minic.GlobalRef("__heap"), minic.Str("dflt"), i32(4)}}},
+		minic.ExprStmt{E: minic.Call{Name: "atoi", Args: []minic.Expr{minic.Str("8080")}}},
+		minic.ExprStmt{E: minic.Call{Name: "calloc", Args: []minic.Expr{i32(4), i32(8)}}},
+		minic.Return{E: i32(0)},
+	})
+
+	// Vendor variation: a few extra internal helpers in random order.
+	extra := 2 + r.Intn(4)
+	for i := 0; i < extra; i++ {
+		name := fmt.Sprintf("__aux_%d", i)
+		intern(name, 1, []minic.Stmt{
+			minic.Let{Name: "x", E: minic.Mul(v("p0"), i32(int32(3+r.Intn(9))))},
+			minic.Return{E: minic.Add(v("x"), i32(int32(r.Intn(100))))},
+		})
+	}
+	return p
+}

@@ -1,0 +1,96 @@
+package taint
+
+import (
+	"testing"
+
+	"fits/internal/minic"
+)
+
+// outParamProgram models a fetcher that WRITES the field into a
+// caller-supplied buffer instead of returning it — the paper's "passes out
+// the result via ... pointers" ITS shape.
+func outParamProgram() *minic.Program {
+	return &minic.Program{
+		Name: "t",
+		Globals: []*minic.Global{
+			{Name: "store", Size: 64},
+			{Name: "fieldbuf", Size: 64},
+			{Name: "out", Size: 64},
+		},
+		Funcs: []*minic.Func{
+			// fetch_into(key, store, dst): copies the field into dst.
+			{Name: "fetch_into", NParams: 3, Body: []minic.Stmt{
+				minic.Let{Name: "i", E: minic.Int(0)},
+				minic.While{Cond: minic.Cond{Op: minic.Lt, L: minic.Var("i"), R: minic.Int(16)},
+					Body: []minic.Stmt{
+						minic.StoreStmt{Size: 1, Addr: minic.Add(minic.Var("p2"), minic.Var("i")),
+							Val: minic.LoadB(minic.Add(minic.Var("p1"), minic.Var("i")))},
+						minic.Assign{Name: "i", E: minic.Add(minic.Var("i"), minic.Int(1))},
+					}},
+				minic.Return{E: minic.Int(0)},
+			}},
+			{Name: "handler", Body: []minic.Stmt{
+				minic.ExprStmt{E: minic.Call{Name: "fetch_into", Args: []minic.Expr{
+					minic.Str("username"), minic.GlobalRef("store"), minic.GlobalRef("fieldbuf")}}},
+				minic.ExprStmt{E: minic.Call{Name: "strcpy", Args: []minic.Expr{
+					minic.GlobalRef("out"), minic.GlobalRef("fieldbuf")}}},
+				minic.Return{E: minic.Int(0)},
+			}},
+			{Name: "main", Body: []minic.Stmt{
+				minic.ExprStmt{E: minic.Call{Name: "handler"}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+}
+
+func TestOutParamITSStatic(t *testing.T) {
+	bin, m := buildBin(t, outParamProgram())
+	fetch := entryOf(t, bin, "fetch_into")
+
+	// Return-value seeding alone misses the flow.
+	none := New(bin, m, Options{ITS: []uint32{fetch}}).Run()
+	for _, a := range none {
+		if a.Sink == "strcpy" {
+			t.Error("return-only seeding should miss the pointer-output flow")
+		}
+	}
+
+	// Pointer-output seeding finds it with the key attached.
+	e := New(bin, m, Options{ITSOut: map[uint32][]int{fetch: {2}}})
+	alerts := e.Run()
+	var hit *Alert
+	for i := range alerts {
+		if alerts[i].Sink == "strcpy" {
+			hit = &alerts[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("pointer-output flow not reported")
+	}
+	if hit.From != FromITS || hit.Key != "username" {
+		t.Errorf("alert = %+v", hit)
+	}
+}
+
+func TestOutParamITSFilteredBySystemKey(t *testing.T) {
+	p := outParamProgram()
+	// Re-key the fetch to a system field.
+	for _, f := range p.Funcs {
+		if f.Name != "handler" {
+			continue
+		}
+		call := f.Body[0].(minic.ExprStmt).E.(minic.Call)
+		call.Args[0] = minic.Str("mac_addr")
+		f.Body[0] = minic.ExprStmt{E: call}
+	}
+	bin, m := buildBin(t, p)
+	fetch := entryOf(t, bin, "fetch_into")
+	e := New(bin, m, Options{ITSOut: map[uint32][]int{fetch: {2}}, StringFilter: true})
+	if alerts := e.Run(); len(alerts) != 0 {
+		t.Errorf("system-key object alert not filtered: %+v", alerts)
+	}
+	if all := e.AllAlerts(); len(all) == 0 {
+		t.Error("filtered alert should remain visible in AllAlerts")
+	}
+}

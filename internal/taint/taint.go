@@ -1,0 +1,360 @@
+// Package taint implements STA, the static taint analysis engine of the
+// paper's §3.4: given taint sources (classical interface functions and/or
+// inferred intermediate taint sources) and risky-library-function sinks, it
+// computes the reachability of unsanitized user data from sources to sinks
+// over the recovered CFG and call graph.
+//
+// Two precision regimes coexist, mirroring the engine's observed behaviour:
+//
+//   - Classical sources taint a *memory region*. A stripped binary has no
+//     object boundaries, so once an interface function is seen writing into
+//     writable memory, every sink consuming a writable-memory pointer is
+//     reachable — cheap, but the source of STA's high false-positive rate
+//     and of its blindness to values materialized on the heap.
+//
+//   - Intermediate sources taint the *value* returned at each call site,
+//     which is tracked precisely through locals, parameters, wrapper calls
+//     and stores, with a range-check sanitization rule and Karonte-style
+//     string filtering.
+package taint
+
+import (
+	"sort"
+
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+	"fits/internal/dataflow"
+	"fits/internal/isa"
+	"fits/internal/know"
+)
+
+// SourceKind says what seeded an alert.
+type SourceKind uint8
+
+// Source kinds.
+const (
+	FromCTSRegion SourceKind = iota
+	FromCTSValue
+	FromITS
+)
+
+func (k SourceKind) String() string {
+	switch k {
+	case FromCTSRegion:
+		return "cts-region"
+	case FromCTSValue:
+		return "cts-value"
+	default:
+		return "its"
+	}
+}
+
+// Alert is one potential vulnerability report.
+type Alert struct {
+	Binary string
+	// Site is the sink call instruction address; Func the entry of the
+	// function containing it.
+	Site uint32
+	Func uint32
+	Sink string
+	Kind know.SinkKind
+	From SourceKind
+	// Key is the field-index string of the originating ITS call site, when
+	// recoverable; the string filter keys on it.
+	Key string
+	// Filtered alerts matched the system-data string filter and are not
+	// reported.
+	Filtered bool
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// UseCTS enables classical sources; UseITS enables intermediate ones.
+	UseCTS bool
+	// ITS lists intermediate taint source function entries whose return
+	// value carries the fetched data.
+	ITS []uint32
+	// ITSOut lists sources that write the fetched data through pointer
+	// parameters instead: entry -> dangerous output parameter indexes.
+	// (The paper's ITS definition covers "return values, pointers, global
+	// variables".)
+	ITSOut map[uint32][]int
+	// StringFilter drops ITS alerts whose key names system data.
+	StringFilter bool
+	// MaxDepth bounds interprocedural value-taint propagation.
+	MaxDepth int
+}
+
+// DefaultMaxDepth bounds value propagation; deep wrapper chains stay in
+// reach while runaway recursion does not.
+const DefaultMaxDepth = 8
+
+// SystemDataKeys are the field names treated as system-populated; the
+// string filter removes ITS alerts keyed on them (paper §4.3: subnet mask,
+// MAC address, IP address fetches are not attacker-controlled).
+var SystemDataKeys = map[string]bool{
+	"mac_addr": true, "lan_ip": true, "subnet_mask": true,
+	"gateway": true, "dns_server": true, "mac": true, "ip_addr": true,
+}
+
+// Engine analyzes one binary.
+type Engine struct {
+	bin   *binimg.Binary
+	model *cfg.Model
+	opts  Options
+
+	alerts map[uint32]*Alert // by sink site; first source kind wins
+	// taintedGlobals collects global word addresses holding ITS-derived
+	// values (value-level store tracking).
+	taintedGlobals map[uint32]bool
+	// taintedObjects are buffers written by pointer-output sources:
+	// base address -> originating key string.
+	taintedObjects map[uint32]string
+	memo           map[memoKey]bool
+}
+
+// New prepares an engine.
+func New(bin *binimg.Binary, model *cfg.Model, opts Options) *Engine {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	return &Engine{
+		bin:            bin,
+		model:          model,
+		opts:           opts,
+		alerts:         map[uint32]*Alert{},
+		taintedGlobals: map[uint32]bool{},
+		taintedObjects: map[uint32]string{},
+	}
+}
+
+// Run performs the analysis and returns unfiltered alerts sorted by site.
+// Filtered alerts are retained (marked) for diagnostics via AllAlerts.
+func (e *Engine) Run() []Alert {
+	if e.opts.UseCTS {
+		e.runCTS()
+	}
+	if len(e.opts.ITS) > 0 || len(e.opts.ITSOut) > 0 {
+		e.runITS()
+	}
+	var out []Alert
+	for _, a := range e.alerts {
+		if !a.Filtered {
+			out = append(out, *a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// AllAlerts returns every alert including filtered ones.
+func (e *Engine) AllAlerts() []Alert {
+	var out []Alert
+	for _, a := range e.alerts {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+func (e *Engine) report(a Alert) {
+	if prev, ok := e.alerts[a.Site]; ok {
+		// Keep the existing alert; unfilter it if the new evidence is not
+		// filtered.
+		if prev.Filtered && !a.Filtered {
+			*prev = a
+		}
+		return
+	}
+	cp := a
+	e.alerts[a.Site] = &cp
+}
+
+// sinkSites enumerates sink call sites across the binary.
+func (e *Engine) sinkSites() []cfg.CallSite {
+	var out []cfg.CallSite
+	for _, f := range e.model.FuncsInOrder() {
+		for _, cs := range f.Calls {
+			if know.IsSink(cs.ImportName) {
+				out = append(out, cs)
+			}
+		}
+	}
+	return out
+}
+
+// writableConstant reports whether a constant denotes a pointer into
+// writable memory (data or bss).
+func (e *Engine) writableConstant(c uint32) bool {
+	sec := e.bin.SectionOf(c)
+	return sec == "data" || sec == "bss"
+}
+
+// bindsWritable reports whether the argument register at a call site
+// resolves — possibly through parameter pass-through chains up the call
+// graph — to a pointer into writable memory.
+func (e *Engine) bindsWritable(fn *cfg.Function, addr uint32, reg isa.Reg, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	o := dataflow.BacktrackArg(fn, addr, reg)
+	switch o.Kind {
+	case dataflow.OriginConst:
+		return e.writableConstant(o.Const)
+	case dataflow.OriginParam:
+		for _, cs := range e.model.Callers[fn.Entry] {
+			caller, ok := e.model.FuncAt(cs.Caller)
+			if ok && e.bindsWritable(caller, cs.Addr, isa.Reg(o.Param), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runCTS performs region-level classical-source analysis.
+func (e *Engine) runCTS() {
+	regionTainted := false
+	for _, f := range e.model.FuncsInOrder() {
+		for _, cs := range f.Calls {
+			spec, ok := know.Sources[cs.ImportName]
+			if !ok {
+				continue
+			}
+			caller, _ := e.model.FuncAt(cs.Caller)
+			if caller == nil {
+				continue
+			}
+			for _, pi := range spec.TaintedParams {
+				if e.bindsWritable(caller, cs.Addr, isa.Reg(pi), 0) {
+					// The interface function writes user data into
+					// statically-known writable memory: the region model
+					// considers all of it attacker-influenced.
+					regionTainted = true
+				}
+			}
+			if spec.TaintsReturn {
+				e.propagateValue(caller, cs.Addr, FromCTSValue, "", 0)
+			}
+		}
+	}
+	if !regionTainted {
+		return
+	}
+	for _, cs := range e.sinkSites() {
+		spec := know.Sinks[cs.ImportName]
+		caller, _ := e.model.FuncAt(cs.Caller)
+		if caller == nil {
+			continue
+		}
+		for _, pi := range spec.DangerousParams {
+			c, ok := dataflow.BacktrackRegister(caller, cs.Addr, isa.Reg(pi))
+			if !ok || !e.writableConstant(c) {
+				continue
+			}
+			e.report(Alert{
+				Binary: e.bin.Name, Site: cs.Addr, Func: cs.Caller,
+				Sink: cs.ImportName, Kind: spec.Kind, From: FromCTSRegion,
+			})
+			break
+		}
+	}
+}
+
+// runITS performs value-level analysis from every ITS call site.
+func (e *Engine) runITS() {
+	its := map[uint32]bool{}
+	for _, entry := range e.opts.ITS {
+		its[entry] = true
+	}
+	for _, f := range e.model.FuncsInOrder() {
+		for _, cs := range f.Calls {
+			if cs.Target == 0 {
+				continue
+			}
+			retITS := its[cs.Target]
+			outParams, outITS := e.opts.ITSOut[cs.Target]
+			if !retITS && !outITS {
+				continue
+			}
+			caller, _ := e.model.FuncAt(cs.Caller)
+			if caller == nil {
+				continue
+			}
+			key := ""
+			if c, ok := dataflow.BacktrackRegister(caller, cs.Addr, isa.R0); ok {
+				if s, ok := dataflow.ClassifyStringConstant(e.bin, c); ok {
+					key = s
+				}
+			}
+			if retITS {
+				e.propagateValue(caller, cs.Addr, FromITS, key, 0)
+			}
+			for _, pi := range outParams {
+				// The source writes user data through this pointer: a
+				// statically known buffer becomes a tainted object.
+				if c, ok := dataflow.BacktrackRegister(caller, cs.Addr, isa.Reg(pi)); ok && e.writableConstant(c) {
+					e.taintObject(c, key)
+				}
+			}
+		}
+	}
+	// Second pass: globals that received tainted values feed later loads.
+	if len(e.taintedGlobals) > 0 {
+		for _, f := range e.model.FuncsInOrder() {
+			e.propagateGlobals(f)
+		}
+	}
+	// Sinks consuming pointers into tainted objects.
+	if len(e.taintedObjects) > 0 {
+		e.scanObjectSinks()
+	}
+}
+
+// taintObject marks a 64-byte buffer as holding fetched user data.
+const taintedObjectSpan = 64
+
+func (e *Engine) taintObject(base uint32, key string) {
+	if _, ok := e.taintedObjects[base]; !ok {
+		e.taintedObjects[base] = key
+	}
+}
+
+// scanObjectSinks reports sinks whose dangerous argument points into a
+// buffer written by a pointer-output source.
+func (e *Engine) scanObjectSinks() {
+	inObject := func(c uint32) (string, bool) {
+		for base, key := range e.taintedObjects {
+			if c >= base && c < base+taintedObjectSpan {
+				return key, true
+			}
+		}
+		return "", false
+	}
+	for _, cs := range e.sinkSites() {
+		spec := know.Sinks[cs.ImportName]
+		caller, _ := e.model.FuncAt(cs.Caller)
+		if caller == nil {
+			continue
+		}
+		for _, pi := range spec.DangerousParams {
+			c, ok := dataflow.BacktrackRegister(caller, cs.Addr, isa.Reg(pi))
+			if !ok {
+				continue
+			}
+			key, hit := inObject(c)
+			if !hit {
+				continue
+			}
+			a := Alert{
+				Binary: e.bin.Name, Site: cs.Addr, Func: cs.Caller,
+				Sink: cs.ImportName, Kind: spec.Kind, From: FromITS, Key: key,
+			}
+			if e.opts.StringFilter && SystemDataKeys[key] {
+				a.Filtered = true
+			}
+			e.report(a)
+			break
+		}
+	}
+}

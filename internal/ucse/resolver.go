@@ -1,0 +1,53 @@
+package ucse
+
+import (
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+)
+
+// JumpResolver adapts the engine to the cfg package's jump-table resolution
+// hook. The returned targets over-approximate (a table scan cannot know the
+// bounds check's limit); cfg.Build clips them to the function's extent.
+func JumpResolver() cfg.JumpTableResolver {
+	type key struct {
+		bin   string
+		entry uint32
+	}
+	cache := map[key]map[uint32][]uint32{}
+	return func(bin *binimg.Binary, f *cfg.Function, addr uint32) []uint32 {
+		k := key{bin: bin.Name, entry: f.Entry}
+		jumps, ok := cache[k]
+		if !ok {
+			e := New(bin, f)
+			e.Explore()
+			jumps = e.JumpTargets()
+			cache[k] = jumps
+		}
+		return jumps[addr]
+	}
+}
+
+// Resolver adapts the engine to the cfg package's indirect-call resolution
+// hook. Results are cached per function entry since cfg.Build asks about
+// every site of a function separately.
+func Resolver() cfg.IndirectResolver {
+	type key struct {
+		bin   string
+		entry uint32
+	}
+	cache := map[key][]Resolution{}
+	return func(bin *binimg.Binary, f *cfg.Function, site cfg.CallSite) []uint32 {
+		k := key{bin: bin.Name, entry: f.Entry}
+		rs, ok := cache[k]
+		if !ok {
+			rs = New(bin, f).Explore()
+			cache[k] = rs
+		}
+		for _, r := range rs {
+			if r.Site.Addr == site.Addr {
+				return r.Targets
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,42 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+	"fits/internal/isa"
+	"fits/internal/minic"
+	"fits/internal/synth"
+)
+
+// TestAllFetchVariantsVerify checks the verification oracle against every
+// code-structural variant of the keyed fetch body the corpus can emit.
+func TestAllFetchVariantsVerify(t *testing.T) {
+	for variant := 0; variant < 4; variant++ {
+		p := &minic.Program{Name: "t", Funcs: []*minic.Func{
+			{Name: "fetch", NParams: 3, Body: synth.KeyedFetchBodyForTest(variant)},
+		}}
+		bin, err := minic.Link(p, isa.ArchARM, []string{"libc.so"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cfg.Build(bin, cfg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var entry uint32
+		for _, f := range bin.Funcs {
+			if f.Name == "fetch" {
+				entry = f.Addr
+			}
+		}
+		o := Candidate(bin, m, entry)
+		if !o.Verified {
+			t.Errorf("variant %d not verified: %v (returned %q)", variant, o.Err, o.Returned)
+		}
+	}
+	_ = binimg.Magic
+	_ = fmt.Sprintf
+}
