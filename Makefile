@@ -1,0 +1,32 @@
+# Development and CI entry points. `make ci` is the full gate: vet, build,
+# plain tests, race-enabled tests, and a short fuzz smoke on each fuzz target
+# (go's -fuzz flag accepts a single package, hence one invocation per target).
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race bench fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/binimg
+	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/binimg
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/loader
+
+ci: vet build test race fuzz-smoke

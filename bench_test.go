@@ -12,7 +12,9 @@ package fits
 // reproduction targets, recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -227,6 +229,49 @@ func BenchmarkPipeline_SingleFirmware(b *testing.B) {
 		if _, err := Analyze(raw, DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalyzeParallel sweeps the worker count over a fixed slice of the
+// corpus and cross-checks that every parallelism level produces the same
+// result as the serial run. Each jN variant reports its wall-clock speedup
+// over the j1 baseline as the "speedup-x" metric; the number tracks the
+// host's core count (a single-core host pins it near 1.0, since the
+// pipeline is CPU-bound).
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	samples := benchCorpus(b)
+	subset := samples[:minInt(8, len(samples))]
+	var baseline []comparableResult
+	var baseNsPerOp float64
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Parallelism = j
+			var results []comparableResult
+			for i := 0; i < b.N; i++ {
+				results = results[:0]
+				for _, s := range subset {
+					res, err := AnalyzeContext(context.Background(), s.Packed, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					results = append(results, normalize(res))
+				}
+			}
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if j == 1 {
+				baseline = append([]comparableResult(nil), results...)
+				baseNsPerOp = nsPerOp
+			} else if baseline != nil {
+				if !reflect.DeepEqual(results, baseline) {
+					b.Fatalf("result at parallelism %d differs from serial run", j)
+				}
+				if baseNsPerOp > 0 {
+					b.ReportMetric(baseNsPerOp/nsPerOp, "speedup-x")
+				}
+			}
+		})
 	}
 }
 

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	fits -top 5 firmware.fw
-//	fits -unpack firmware.fw        # list the filesystem only
+//	fits -j 8 -timeout 30s firmware.fw  # 8 workers, abort after 30s
+//	fits -unpack firmware.fw            # list the filesystem only
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,9 +25,11 @@ func main() {
 	log.SetPrefix("fits: ")
 	top := flag.Int("top", 3, "how many ranked candidates to print per binary")
 	unpackOnly := flag.Bool("unpack", false, "only unpack and list the filesystem")
+	jobs := flag.Int("j", 0, "worker goroutines for the analysis pipeline (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "abort analysis after this duration (0 = no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: fits [-top N] [-unpack] firmware.fw")
+		log.Fatal("usage: fits [-top N] [-j N] [-timeout D] [-unpack] firmware.fw")
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -44,7 +48,15 @@ func main() {
 		return
 	}
 
-	res, err := fits.Analyze(raw, fits.DefaultOptions())
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := fits.DefaultOptions()
+	opts.Parallelism = *jobs
+	res, err := fits.AnalyzeContext(ctx, raw, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

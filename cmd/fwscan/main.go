@@ -6,9 +6,11 @@
 //	fwscan firmware.fw                     # static engine, classical sources
 //	fwscan -its firmware.fw                # infer ITSs first, then seed top-3
 //	fwscan -engine symbolic -its firmware.fw
+//	fwscan -j 8 -timeout 1m firmware.fw    # 8 workers, abort after a minute
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,9 +25,11 @@ func main() {
 	useITS := flag.Bool("its", false, "infer intermediate taint sources and seed the top-3")
 	engineName := flag.String("engine", "static", `engine: "static" (STA) or "symbolic" (Karonte-style)`)
 	filter := flag.Bool("filter", true, "filter alerts keyed on system-data fields")
+	jobs := flag.Int("j", 0, "worker goroutines for the analysis pipeline (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "abort analysis after this duration (0 = no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] firmware.fw")
+		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] [-j N] [-timeout D] firmware.fw")
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -41,13 +45,24 @@ func main() {
 		log.Fatalf("unknown engine %q", *engineName)
 	}
 
-	res, err := fits.Analyze(raw, fits.DefaultOptions())
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	aopts := fits.DefaultOptions()
+	aopts.Parallelism = *jobs
+	res, err := fits.AnalyzeContext(ctx, raw, aopts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s %s %s\n", res.Vendor, res.Product, res.Version)
 	total := 0
 	for _, t := range res.Targets {
+		if err := ctx.Err(); err != nil {
+			log.Fatal(err)
+		}
 		opts := fits.ScanOptions{Engine: engine, StringFilter: *filter}
 		if *useITS {
 			for _, c := range t.TopCandidates(3) {

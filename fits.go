@@ -28,13 +28,17 @@
 package fits
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"fits/internal/infer"
 	"fits/internal/karonte"
 	"fits/internal/know"
 	"fits/internal/loader"
+	"fits/internal/pool"
 	"fits/internal/score"
 	"fits/internal/taint"
 )
@@ -45,6 +49,12 @@ type Options struct {
 	Metric score.Metric
 	// SkipIndirectResolution disables UCSE-based indirect call resolution.
 	SkipIndirectResolution bool
+	// Parallelism bounds the worker goroutines at every fan-out layer of
+	// the pipeline (per-binary model building, per-target inference,
+	// per-function feature extraction). 0 means runtime.GOMAXPROCS(0); 1
+	// runs the pipeline serially. The result is byte-identical at every
+	// setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -86,25 +96,53 @@ type Result struct {
 // Analyze unpacks a firmware image, selects its network binaries, and ranks
 // their custom functions as intermediate taint sources.
 func Analyze(raw []byte, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), raw, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation and bounded parallelism: model
+// building, per-target inference and per-function feature extraction fan out
+// across opts.Parallelism workers, and the context is checked at target and
+// function granularity, so scanning a large image can be aborted mid-flight
+// (the error is then ctx.Err()). Targets are assembled in input order and
+// every ranking carries explicit deterministic sort keys, so the Result is
+// byte-identical — Elapsed aside — at every worker count.
+func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, error) {
 	start := time.Now()
-	res, err := loader.Load(raw, loader.Options{SkipResolver: opts.SkipIndirectResolution})
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res, err := loader.LoadContext(ctx, raw, loader.Options{
+		SkipResolver: opts.SkipIndirectResolution,
+		Parallelism:  workers,
+	})
 	if err != nil {
 		return nil, err
 	}
 	cfgn := infer.DefaultConfig()
 	cfgn.Metric = opts.Metric
+	cfgn.Parallelism = workers
 	out := &Result{
 		Vendor:  res.Image.Vendor,
 		Product: res.Image.Product,
 		Version: res.Image.Version,
+		Targets: make([]*TargetResult, len(res.Targets)),
 	}
-	for _, t := range res.Targets {
-		r := infer.InferTarget(t, cfgn)
+	err = pool.ForEach(ctx, workers, len(res.Targets), func(i int) error {
+		t := res.Targets[i]
+		r, err := infer.InferTargetContext(ctx, t, cfgn)
+		if err != nil {
+			return err
+		}
 		tr := &TargetResult{Path: t.Path, Binary: r.Binary, NumFuncs: r.NumFuncs, target: t}
 		for _, e := range r.Ranked {
 			tr.Candidates = append(tr.Candidates, Candidate{Entry: e.Entry, Score: e.Score})
 		}
-		out.Targets = append(out.Targets, tr)
+		out.Targets[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out.Elapsed = time.Since(start)
 	return out, nil
@@ -173,30 +211,35 @@ func (t *TargetResult) Scan(opts ScanOptions) ([]Alert, error) {
 	return out, nil
 }
 
-// Sinks returns the sink library functions recognized by the engines.
+// Sinks returns the sink library functions recognized by the engines,
+// sorted by name.
 func Sinks() []string {
 	out := make([]string, 0, len(know.Sinks))
 	for name := range know.Sinks {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
 // Sources returns the classical taint source functions recognized by the
-// engines.
+// engines, sorted by name.
 func Sources() []string {
 	out := make([]string, 0, len(know.Sources))
 	for name := range know.Sources {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
-// Anchors returns the anchor function names used for behavioral scoring.
+// Anchors returns the anchor function names used for behavioral scoring,
+// sorted by name.
 func Anchors() []string {
 	out := make([]string, 0, len(know.Anchors))
 	for name := range know.Anchors {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }

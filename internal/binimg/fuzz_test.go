@@ -1,0 +1,87 @@
+// Fuzz coverage for the binary container codec: Decode must reject arbitrary
+// and corrupted inputs with an error, never a panic. The seed corpus is
+// real encoder output from the synthetic firmware generator, so mutations
+// start from structurally valid containers and explore the interesting
+// boundary cases (truncated tables, hostile counts, misaligned text).
+package binimg_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fits/internal/binimg"
+	"fits/internal/synth"
+)
+
+// fuzzSeeds collects encoded binaries from a couple of synth samples: the
+// network application, its libc, and a raw truncation of each.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	var out [][]byte
+	specs := synth.Dataset()
+	for _, idx := range []int{0, 7} {
+		if idx >= len(specs) {
+			continue
+		}
+		s, err := synth.Generate(specs[idx])
+		if err != nil {
+			f.Fatalf("synth: %v", err)
+		}
+		for _, file := range s.Image.Files {
+			if binimg.IsBinary(file.Data) {
+				out = append(out, file.Data)
+			}
+		}
+	}
+	return out
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		if len(seed) > 64 {
+			f.Add(seed[:64]) // truncated header
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FBIN1"))
+	f.Add(append([]byte("FBIN1"), bytes.Repeat([]byte{0xff}, 64)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := binimg.Decode(data)
+		if err != nil {
+			if b != nil {
+				t.Error("Decode returned both a binary and an error")
+			}
+			return
+		}
+		// A decoded binary must round-trip through the accessors without
+		// panicking, whatever the section layout claims.
+		_ = b.Size()
+		_, _ = b.WordAt(b.Entry)
+		_, _ = b.CString(b.Entry)
+		_ = b.SectionOf(b.Entry)
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip mutates decoded-then-reencoded containers:
+// any input Decode accepts must survive Encode → Decode unchanged in its
+// header identity.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := binimg.Decode(data)
+		if err != nil {
+			return
+		}
+		b2, err := binimg.Decode(b.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of encoder output failed: %v", err)
+		}
+		if b2.Name != b.Name || b2.Entry != b.Entry || b2.Arch != b.Arch {
+			t.Errorf("round trip changed identity: %q/%#x/%v -> %q/%#x/%v",
+				b.Name, b.Entry, b.Arch, b2.Name, b2.Entry, b2.Arch)
+		}
+	})
+}

@@ -72,10 +72,16 @@ func Build(bin *binimg.Binary, opts Options) (*Model, error) {
 	}
 
 	// resolveJumpTables runs one pass over unresolved computed jumps; newly
-	// resolved functions are rebuilt with their switch-case blocks.
+	// resolved functions are rebuilt with their switch-case blocks. Functions
+	// are visited in ascending entry order and rebuilds are deferred past the
+	// sweep: clipJumpTargets bounds each table by the neighboring function
+	// entries, so resolving against a mid-sweep mutated function set would
+	// make recovered CFGs depend on map iteration order.
 	resolveJumpTables := func() bool {
-		changed := false
-		for entry, f := range m.Funcs {
+		var rebuild []uint32
+		for _, f := range m.FuncsInOrder() {
+			entry := f.Entry
+			resolvedAny := false
 			for _, addr := range f.DynJumps {
 				if _, done := f.JumpTables[addr]; done {
 					continue
@@ -89,12 +95,17 @@ func Build(bin *binimg.Binary, opts Options) (*Model, error) {
 					jumpTables[entry] = map[uint32][]uint32{}
 				}
 				jumpTables[entry][addr] = targets
-				delete(m.Funcs, entry)
-				worklist = append(worklist, entry)
-				changed = true
+				resolvedAny = true
+			}
+			if resolvedAny {
+				rebuild = append(rebuild, entry)
 			}
 		}
-		return changed
+		for _, entry := range rebuild {
+			delete(m.Funcs, entry)
+			worklist = append(worklist, entry)
+		}
+		return len(rebuild) > 0
 	}
 	// resolveIndirect runs one resolution pass over every unresolved
 	// indirect site, reporting whether anything changed.

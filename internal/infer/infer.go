@@ -10,6 +10,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,7 @@ import (
 	"fits/internal/cluster"
 	"fits/internal/dataflow"
 	"fits/internal/loader"
+	"fits/internal/pool"
 	"fits/internal/score"
 )
 
@@ -84,6 +86,9 @@ type Config struct {
 	DBSCAN      cluster.Params
 	// PCAComponents for StrategyPCA.
 	PCAComponents int
+	// Parallelism bounds the goroutines extracting per-function vectors;
+	// 0 means runtime.GOMAXPROCS(0). Output is deterministic at any value.
+	Parallelism int
 }
 
 // DefaultConfig is the paper's configuration: BFV + clustering + cosine.
@@ -133,8 +138,9 @@ func vectorFor(rep Representation, ex *bfv.Extractor, bin *binimg.Binary, m *cfg
 // implementation in the target's dependency libraries. For BFV the anchor's
 // caller count also includes call sites in the target binary reaching the
 // anchor's PLT stub, since the library alone understates how busy an anchor
-// is.
-func anchorVectors(t *loader.Target, cfgn Config) []bfv.Vector {
+// is. Extraction fans out across the pool; the returned order is the serial
+// one (libraries by name, exports in table order) at any parallelism.
+func anchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([]bfv.Vector, error) {
 	// Count target-side callers per import name.
 	stubCallers := map[string]int{}
 	for _, f := range t.Model.FuncsInOrder() {
@@ -144,12 +150,21 @@ func anchorVectors(t *loader.Target, cfgn Config) []bfv.Vector {
 			}
 		}
 	}
-	var out []bfv.Vector
 	libs := make([]string, 0, len(t.Libs))
 	for name := range t.Libs {
 		libs = append(libs, name)
 	}
 	sort.Strings(libs)
+	// Enumerate extraction jobs serially (cheap), then extract in parallel.
+	type anchorJob struct {
+		ex    *bfv.Extractor
+		bin   *binimg.Binary
+		m     *cfg.Model
+		f     *cfg.Function
+		name  string
+		arity int
+	}
+	var jobs []anchorJob
 	for _, lib := range libs {
 		bin := t.Libs[lib]
 		m := t.LibModels[lib]
@@ -169,14 +184,23 @@ func anchorVectors(t *loader.Target, cfgn Config) []bfv.Vector {
 			if !ok {
 				continue
 			}
-			vec := vectorFor(cfgn.Representation, ex, bin, m, f)
-			if cfgn.Representation == RepBFV {
-				mergeTargetStrings(t, e.Name, arity, &vec)
-			}
-			out = append(out, vec)
+			jobs = append(jobs, anchorJob{ex: ex, bin: bin, m: m, f: f, name: e.Name, arity: arity})
 		}
 	}
-	return out
+	out := make([]bfv.Vector, len(jobs))
+	err := pool.ForEach(ctx, cfgn.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		vec := vectorFor(cfgn.Representation, j.ex, j.bin, j.m, j.f)
+		if cfgn.Representation == RepBFV {
+			mergeTargetStrings(t, j.name, j.arity, &vec)
+		}
+		out[i] = vec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // mergeTargetStrings folds the target binary's call sites of an anchor's PLT
@@ -205,16 +229,35 @@ func findStub(bin *binimg.Binary, name string) (uint32, bool) {
 
 // InferTarget runs the full inference pipeline on one target.
 func InferTarget(t *loader.Target, cfgn Config) *Ranking {
+	r, _ := InferTargetContext(context.Background(), t, cfgn)
+	return r
+}
+
+// InferTargetContext is InferTarget with cancellation and bounded
+// parallelism: per-function representation extraction — the pipeline's hot
+// loop — fans out across cfgn.Parallelism goroutines, the context is checked
+// before each function, and results assemble in function order, so the
+// ranking is byte-identical at every worker count. The only error returned
+// is the context's.
+func InferTargetContext(ctx context.Context, t *loader.Target, cfgn Config) (*Ranking, error) {
 	ex := bfv.New(t.Bin, t.Model)
 	customs := t.Model.CustomFuncs()
-	points := make([]cluster.Point, 0, len(customs))
-	for _, f := range customs {
-		points = append(points, cluster.Point{
+	points := make([]cluster.Point, len(customs))
+	err := pool.ForEach(ctx, cfgn.Parallelism, len(customs), func(i int) error {
+		f := customs[i]
+		points[i] = cluster.Point{
 			Entry: f.Entry,
 			Vec:   vectorFor(cfgn.Representation, ex, t.Bin, t.Model, f),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	anchors := anchorVectors(t, cfgn)
+	anchors, err := anchorVectors(ctx, t, cfgn)
+	if err != nil {
+		return nil, err
+	}
 
 	if cfgn.DropFeature >= 0 && cfgn.DropFeature < bfv.Dim {
 		for i := range points {
@@ -271,20 +314,37 @@ func InferTarget(t *loader.Target, cfgn Config) *Ranking {
 	}
 	rank.NumCandidates = len(cands)
 	rank.Ranked = score.Rank(cfgn.Metric, cands, anchors)
-	return rank
+	return rank, nil
 }
 
 // InferAll runs inference on every target of a loaded firmware.
 func InferAll(res *loader.Result, cfgn Config) []*Ranking {
-	out := make([]*Ranking, 0, len(res.Targets))
-	for _, t := range res.Targets {
-		out = append(out, InferTarget(t, cfgn))
-	}
+	out, _ := InferAllContext(context.Background(), res, cfgn)
 	return out
+}
+
+// InferAllContext runs inference on every target, fanning targets out across
+// the pool on top of the per-function parallelism inside each target.
+// Rankings are returned in target order regardless of completion order.
+func InferAllContext(ctx context.Context, res *loader.Result, cfgn Config) ([]*Ranking, error) {
+	out := make([]*Ranking, len(res.Targets))
+	err := pool.ForEach(ctx, cfgn.Parallelism, len(res.Targets), func(i int) error {
+		r, err := InferTargetContext(ctx, res.Targets[i], cfgn)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AnchorVectorsForTest exposes anchor vector extraction to corpus-tuning
 // tests.
 func AnchorVectorsForTest(t *loader.Target) []bfv.Vector {
-	return anchorVectors(t, DefaultConfig())
+	out, _ := anchorVectors(context.Background(), t, DefaultConfig())
+	return out
 }

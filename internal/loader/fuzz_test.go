@@ -1,0 +1,39 @@
+package loader
+
+// Fuzz coverage for the firmware entry point: Load must turn arbitrary
+// bytes into an error, never a panic, no matter how mangled the container,
+// filesystem, or embedded binaries are. Seeds come from real packed images
+// produced by the synthetic firmware generator.
+
+import (
+	"testing"
+
+	"fits/internal/synth"
+)
+
+func FuzzLoad(f *testing.F) {
+	specs := synth.Dataset()
+	for _, idx := range []int{0, 42} {
+		if idx >= len(specs) {
+			continue
+		}
+		s, err := synth.Generate(specs[idx])
+		if err != nil {
+			f.Fatalf("synth: %v", err)
+		}
+		f.Add(s.Packed)
+		if len(s.Packed) > 256 {
+			f.Add(s.Packed[:256]) // header plus a ragged tail
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FWIMG"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// SkipResolver keeps per-input cost down; the parsing and CFG
+		// recovery paths being hardened here run either way.
+		res, err := Load(data, Options{SkipResolver: true})
+		if err == nil && res == nil {
+			t.Error("Load returned nil result and nil error")
+		}
+	})
+}

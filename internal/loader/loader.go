@@ -4,18 +4,27 @@
 // dependency libraries, identifies anchor functions among the libraries'
 // dynamic symbols, and builds whole-binary models with UCSE-backed indirect
 // call resolution.
+//
+// Model building fans out across a bounded goroutine pool (Options.
+// Parallelism) and deduplicates work: each dependency library's model is
+// built once and shared read-only by every target that needs it. Output is
+// deterministic regardless of worker count — targets are assembled in
+// ascending path order.
 package loader
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path"
+	"sort"
 	"strings"
 
 	"fits/internal/binimg"
 	"fits/internal/cfg"
 	"fits/internal/firmware"
 	"fits/internal/know"
+	"fits/internal/pool"
 	"fits/internal/ucse"
 )
 
@@ -30,7 +39,9 @@ type Target struct {
 	Bin   *binimg.Binary
 	Model *cfg.Model
 	// Libs maps needed library file names to their decoded binaries;
-	// LibModels holds their whole-binary models.
+	// LibModels holds their whole-binary models. Library models are shared
+	// between targets needing the same library and must be treated as
+	// read-only.
 	Libs      map[string]*binimg.Binary
 	LibModels map[string]*cfg.Model
 	// Anchors maps anchor function names exported by the dependency
@@ -66,6 +77,9 @@ type Options struct {
 	SkipResolver bool
 	// KeepUnstripped retains debug symbols if present (test corpora).
 	KeepUnstripped bool
+	// Parallelism bounds the goroutines building binary models;
+	// 0 means runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // executableDirs are filesystem locations treated as holding executables.
@@ -82,12 +96,21 @@ func isExecutablePath(p string) bool {
 
 // Load unpacks raw firmware bytes and prepares every network target.
 func Load(raw []byte, opts Options) (*Result, error) {
+	return LoadContext(context.Background(), raw, opts)
+}
+
+// LoadContext is Load with cancellation: the context is checked between (and
+// inside) per-binary model builds, so loading a large image can be aborted.
+func LoadContext(ctx context.Context, raw []byte, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	img, err := firmware.Unpack(raw)
 	if err != nil {
 		return nil, fmt.Errorf("loader: unpack: %w", err)
 	}
 	res := &Result{Image: img, Scheme: firmware.DetectScheme(raw)}
-	if err := res.load(opts); err != nil {
+	if err := res.load(ctx, opts); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -95,14 +118,19 @@ func Load(raw []byte, opts Options) (*Result, error) {
 
 // LoadImage prepares targets from an already unpacked image.
 func LoadImage(img *firmware.Image, opts Options) (*Result, error) {
+	return LoadImageContext(context.Background(), img, opts)
+}
+
+// LoadImageContext is LoadImage with cancellation.
+func LoadImageContext(ctx context.Context, img *firmware.Image, opts Options) (*Result, error) {
 	res := &Result{Image: img, Scheme: firmware.SchemeNone}
-	if err := res.load(opts); err != nil {
+	if err := res.load(ctx, opts); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-func (res *Result) load(opts Options) error {
+func (res *Result) load(ctx context.Context, opts Options) error {
 	img := res.Image
 	// Decode every binary in the filesystem.
 	bins := map[string]*binimg.Binary{}
@@ -132,37 +160,85 @@ func (res *Result) load(opts Options) error {
 		resolver = ucse.Resolver()
 		jumpResolver = ucse.JumpResolver()
 	}
+	cfgOpts := cfg.Options{Resolver: resolver, JumpResolver: jumpResolver}
 
+	// Select the network targets, in deterministic path order.
+	var targetPaths []string
 	for p, b := range bins {
-		if !isExecutablePath(p) {
-			continue
+		if isExecutablePath(p) && importsNetwork(b) {
+			targetPaths = append(targetPaths, p)
 		}
-		if !importsNetwork(b) {
-			continue
+	}
+	if len(targetPaths) == 0 {
+		return ErrNoTargets
+	}
+	sort.Strings(targetPaths)
+
+	// Collect the libraries any target needs; each is modeled exactly once
+	// and shared read-only across targets.
+	var libNames []string
+	libSeen := map[string]bool{}
+	for _, p := range targetPaths {
+		for _, need := range bins[p].Needed {
+			if libSeen[need] {
+				continue
+			}
+			if _, ok := libByName[need]; !ok {
+				continue // missing library; analysis proceeds without it
+			}
+			libSeen[need] = true
+			libNames = append(libNames, need)
 		}
+	}
+	sort.Strings(libNames)
+
+	// Build every model in one fan-out: targets first, then libraries. Each
+	// job writes only its own slot, so assembly below is order-independent.
+	type job struct {
+		name string // diagnostic label: path for targets, file name for libs
+		bin  *binimg.Binary
+	}
+	jobs := make([]job, 0, len(targetPaths)+len(libNames))
+	for _, p := range targetPaths {
+		jobs = append(jobs, job{name: p, bin: bins[p]})
+	}
+	for _, name := range libNames {
+		jobs = append(jobs, job{name: name, bin: libByName[name]})
+	}
+	models := make([]*cfg.Model, len(jobs))
+	err := pool.ForEach(ctx, opts.Parallelism, len(jobs), func(i int) error {
+		m, err := cfg.Build(jobs[i].bin, cfgOpts)
+		if err != nil {
+			return fmt.Errorf("loader: %s: %w", jobs[i].name, err)
+		}
+		models[i] = m
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	libModels := map[string]*cfg.Model{}
+	for i, name := range libNames {
+		libModels[name] = models[len(targetPaths)+i]
+	}
+	for i, p := range targetPaths {
+		b := bins[p]
 		t := &Target{
 			Path:      p,
 			Bin:       b,
+			Model:     models[i],
 			Libs:      map[string]*binimg.Binary{},
 			LibModels: map[string]*cfg.Model{},
 			Anchors:   map[string]int{},
 		}
-		model, err := cfg.Build(b, cfg.Options{Resolver: resolver, JumpResolver: jumpResolver})
-		if err != nil {
-			return fmt.Errorf("loader: %s: %w", p, err)
-		}
-		t.Model = model
 		for _, need := range b.Needed {
 			lib, ok := libByName[need]
 			if !ok {
-				continue // missing library; analysis proceeds without it
+				continue
 			}
 			t.Libs[need] = lib
-			lm, err := cfg.Build(lib, cfg.Options{Resolver: resolver, JumpResolver: jumpResolver})
-			if err != nil {
-				return fmt.Errorf("loader: %s: %w", need, err)
-			}
-			t.LibModels[need] = lm
+			t.LibModels[need] = libModels[need]
 			for _, e := range lib.Exports {
 				if arity, ok := know.Anchors[e.Name]; ok {
 					t.Anchors[e.Name] = arity
@@ -170,17 +246,6 @@ func (res *Result) load(opts Options) error {
 			}
 		}
 		res.Targets = append(res.Targets, t)
-	}
-	if len(res.Targets) == 0 {
-		return ErrNoTargets
-	}
-	// Deterministic target order.
-	for i := 0; i < len(res.Targets); i++ {
-		for j := i + 1; j < len(res.Targets); j++ {
-			if res.Targets[j].Path < res.Targets[i].Path {
-				res.Targets[i], res.Targets[j] = res.Targets[j], res.Targets[i]
-			}
-		}
 	}
 	return nil
 }

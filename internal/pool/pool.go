@@ -1,0 +1,93 @@
+// Package pool provides the bounded fan-out primitive used by the parallel
+// analysis pipeline: run n index-addressed work items on up to `workers`
+// goroutines with context cancellation checked at item granularity.
+//
+// The pool is deliberately order-agnostic: callers that need deterministic
+// output pre-size a result slice and have item i write only slot i, so the
+// assembled result is identical at every worker count. Cancellation and
+// errors stop the dispatch of further items; items already in flight run to
+// completion before ForEach returns, so no goroutine outlives the call.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every index in [0, n), running at most `workers`
+// items concurrently (workers <= 0 means runtime.GOMAXPROCS(0)).
+//
+// The context is checked before every item: once ctx is done, no further
+// items start and ForEach returns ctx.Err(). If an fn call returns an error,
+// dispatch stops and the error of the lowest failing index is returned —
+// a deterministic choice regardless of scheduling. ForEach always waits for
+// in-flight items before returning.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next index to dispatch
+		stop     atomic.Bool  // set on first error to halt dispatch
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

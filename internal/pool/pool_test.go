@@ -1,0 +1,151 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		const n = 57
+		var visits [n]atomic.Int32
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 64, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 5:
+				// With workers=4 this item may run concurrently with
+				// item 3; the lower index must still win.
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+func TestForEachErrorStopsDispatch(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int32
+	_ = ForEach(context.Background(), 2, 1000, func(i int) error {
+		if i == 0 {
+			return boom
+		}
+		if i > 100 {
+			after.Add(1)
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	// Dispatch halts quickly: the bulk of the tail must never start.
+	if got := after.Load(); got > 10 {
+		t.Errorf("%d items ran after the failure", got)
+	}
+}
+
+func TestForEachPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForEach(ctx, 4, 10, func(int) error {
+		called = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("fn ran under a cancelled context")
+	}
+}
+
+func TestForEachCancellationMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 2, 1000, func(i int) error {
+		if ran.Add(1) == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got > 100 {
+		t.Errorf("%d items ran after cancellation", got)
+	}
+}
+
+func TestForEachNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		_ = ForEach(context.Background(), 8, 50, func(int) error { return nil })
+	}
+	// ForEach waits for its workers, so the count settles back.
+	var after int
+	for i := 0; i < 50; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d", before, after)
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	err := ForEach(context.Background(), workers, 100, func(int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Errorf("observed %d concurrent items, cap is %d", got, workers)
+	}
+}

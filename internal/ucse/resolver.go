@@ -1,9 +1,17 @@
 package ucse
 
 import (
+	"sync"
+
 	"fits/internal/binimg"
 	"fits/internal/cfg"
 )
+
+// Resolver caches are shared by every cfg.Build call made with the same
+// resolver instance; the parallel loader builds several binary models at
+// once, so the caches are mutex-guarded. Exploration itself runs outside the
+// lock — two goroutines may race to explore the same function, but Explore
+// is deterministic, so whichever result lands in the cache is identical.
 
 // JumpResolver adapts the engine to the cfg package's jump-table resolution
 // hook. The returned targets over-approximate (a table scan cannot know the
@@ -13,15 +21,20 @@ func JumpResolver() cfg.JumpTableResolver {
 		bin   string
 		entry uint32
 	}
+	var mu sync.Mutex
 	cache := map[key]map[uint32][]uint32{}
 	return func(bin *binimg.Binary, f *cfg.Function, addr uint32) []uint32 {
 		k := key{bin: bin.Name, entry: f.Entry}
+		mu.Lock()
 		jumps, ok := cache[k]
+		mu.Unlock()
 		if !ok {
 			e := New(bin, f)
 			e.Explore()
 			jumps = e.JumpTargets()
+			mu.Lock()
 			cache[k] = jumps
+			mu.Unlock()
 		}
 		return jumps[addr]
 	}
@@ -35,13 +48,18 @@ func Resolver() cfg.IndirectResolver {
 		bin   string
 		entry uint32
 	}
+	var mu sync.Mutex
 	cache := map[key][]Resolution{}
 	return func(bin *binimg.Binary, f *cfg.Function, site cfg.CallSite) []uint32 {
 		k := key{bin: bin.Name, entry: f.Entry}
+		mu.Lock()
 		rs, ok := cache[k]
+		mu.Unlock()
 		if !ok {
 			rs = New(bin, f).Explore()
+			mu.Lock()
 			cache[k] = rs
+			mu.Unlock()
 		}
 		for _, r := range rs {
 			if r.Site.Addr == site.Addr {
