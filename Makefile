@@ -1,11 +1,13 @@
 # Development and CI entry points. `make ci` is the full gate: vet, build,
-# plain tests, race-enabled tests, and a short fuzz smoke on each fuzz target
-# (go's -fuzz flag accepts a single package, hence one invocation per target).
+# plain tests, race-enabled tests, a short fuzz smoke on each fuzz target
+# (go's -fuzz flag accepts a single package, hence one invocation per target),
+# and a one-iteration benchmark smoke that archives pipeline numbers to
+# BENCH_pipeline.json.
 
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench fuzz-smoke ci
+.PHONY: all build vet test race bench bench-smoke fuzz-smoke ci
 
 all: build
 
@@ -24,9 +26,16 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
+# One iteration of the end-to-end pipeline benchmarks (cold and cache-warm),
+# converted to JSON so CI can diff ns/op, allocs/op, and cache hit rate.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkPipeline_' -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	@cat BENCH_pipeline.json
+
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/binimg
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/binimg
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/loader
 
-ci: vet build test race fuzz-smoke
+ci: vet build test race fuzz-smoke bench-smoke

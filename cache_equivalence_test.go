@@ -1,0 +1,93 @@
+package fits
+
+// Tests for the model cache's correctness contract at the public API: with
+// or without a cache, cold or warm, at any parallelism, Analyze returns a
+// byte-identical Result (diagnostics aside), and warm runs actually reuse
+// cached models instead of re-lifting.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestAnalyzeCachedMatchesUncached(t *testing.T) {
+	for _, idx := range []int{0, 42} {
+		s := sample(t, idx)
+		cache := NewCache(0, 0)
+		var base comparableResult
+		for _, workers := range []int{1, 2, 4, 8} {
+			uncached := DefaultOptions()
+			uncached.Parallelism = workers
+			plain, err := AnalyzeContext(context.Background(), s.Packed, uncached)
+			if err != nil {
+				t.Fatalf("sample %d workers=%d uncached: %v", idx, workers, err)
+			}
+			if plain.Cache.Reused != 0 {
+				t.Errorf("sample %d workers=%d: uncached run reports %d reused models",
+					idx, workers, plain.Cache.Reused)
+			}
+
+			withCache := uncached
+			withCache.Cache = cache
+			cachedRes, err := AnalyzeContext(context.Background(), s.Packed, withCache)
+			if err != nil {
+				t.Fatalf("sample %d workers=%d cached: %v", idx, workers, err)
+			}
+
+			got := normalize(plain)
+			if workers == 1 {
+				base = got
+			} else if !reflect.DeepEqual(got, base) {
+				t.Errorf("sample %d workers=%d: uncached result differs from serial run", idx, workers)
+			}
+			if !reflect.DeepEqual(normalize(cachedRes), base) {
+				t.Errorf("sample %d workers=%d: cached result differs from uncached", idx, workers)
+			}
+
+			// Every run after the first sees only warm content: no model may
+			// be lifted again.
+			if workers > 1 && cachedRes.Cache.Lifted != 0 {
+				t.Errorf("sample %d workers=%d: warm run lifted %d models, want 0",
+					idx, workers, cachedRes.Cache.Lifted)
+			}
+			if workers == 1 && cachedRes.Cache.Lifted == 0 {
+				t.Errorf("sample %d: cold run reports zero lifted models", idx)
+			}
+		}
+		if s := cache.Stats(); s.Hits == 0 {
+			t.Errorf("sample %d: cache saw no hits across the sweep", idx)
+		}
+	}
+}
+
+// TestAnalyzeSharedCacheAcrossImages runs two different samples through one
+// cache: distinct content must not collide, and each sample's second pass
+// must be served from the cache.
+func TestAnalyzeSharedCacheAcrossImages(t *testing.T) {
+	cache := NewCache(0, 0)
+	for _, idx := range []int{0, 7} {
+		s := sample(t, idx)
+		opts := DefaultOptions()
+		opts.Cache = cache
+
+		cold, err := AnalyzeContext(context.Background(), s.Packed, opts)
+		if err != nil {
+			t.Fatalf("sample %d cold: %v", idx, err)
+		}
+		if cold.Cache.Lifted == 0 {
+			t.Errorf("sample %d: cold pass lifted no models", idx)
+		}
+		warm, err := AnalyzeContext(context.Background(), s.Packed, opts)
+		if err != nil {
+			t.Fatalf("sample %d warm: %v", idx, err)
+		}
+		if warm.Cache.Lifted != 0 || warm.Cache.Reused == 0 {
+			t.Errorf("sample %d: warm pass lifted=%d reused=%d, want 0 lifted",
+				idx, warm.Cache.Lifted, warm.Cache.Reused)
+		}
+		if !reflect.DeepEqual(normalize(cold), normalize(warm)) {
+			t.Errorf("sample %d: warm result differs from cold", idx)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// report on stdout, so CI can archive benchmark numbers (ns/op, allocs/op,
+// custom metrics such as cache-hit-%) without extra tooling.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=Pipeline -benchtime=1x -benchmem . | benchjson > BENCH_pipeline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op", "allocs/op"
+}
+
+// Report is the whole document, with the run's environment header.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	rep := &Report{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				rep.Benchmarks = append(rep.Benchmarks, *b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses a result line of the form
+//
+//	BenchmarkName-8   2   9120354 ns/op   66.67 cache-hit-%   6727568 B/op   4429 allocs/op
+//
+// Lines that merely start with "Benchmark" but carry no measurements (e.g. a
+// sub-benchmark group header) are skipped by returning (nil, nil).
+func parseLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // "BenchmarkFoo" used as a prose word, not a result line
+	}
+	b := &Benchmark{
+		Name:       trimMaxprocs(fields[0]),
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+// trimMaxprocs strips the numeric -N GOMAXPROCS suffix `go test` appends to
+// benchmark names; names without one pass through unchanged.
+func trimMaxprocs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if n, err := strconv.Atoi(name[i+1:]); err != nil || n <= 0 {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: fits
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipeline_SingleFirmware-8 	       1	  29471234 ns/op	18068904 B/op	   98282 allocs/op
+BenchmarkPipeline_SingleFirmwareCached-8 	       1	   9120354 ns/op	        66.67 cache-hit-%	 6727568 B/op	    4429 allocs/op
+PASS
+ok  	fits	0.458s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "fits" || rep.CPU == "" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkPipeline_SingleFirmware" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Iterations != 1 || b.Metrics["ns/op"] != 29471234 || b.Metrics["allocs/op"] != 98282 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	c := rep.Benchmarks[1]
+	if c.Metrics["cache-hit-%"] != 66.67 {
+		t.Errorf("cache-hit-%% = %v, want 66.67", c.Metrics["cache-hit-%"])
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := "BenchmarkGroup\nBenchmarkGroup/sub-4 	 2 	 100 ns/op\n"
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkGroup/sub" {
+		t.Errorf("benchmarks = %+v", rep.Benchmarks)
+	}
+}

@@ -27,9 +27,11 @@ func main() {
 	unpackOnly := flag.Bool("unpack", false, "only unpack and list the filesystem")
 	jobs := flag.Int("j", 0, "worker goroutines for the analysis pipeline (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "abort analysis after this duration (0 = no limit)")
+	cacheSize := flag.Int64("cache-size", 0, "model cache byte budget (0 = default 1 GiB)")
+	noCache := flag.Bool("no-cache", false, "disable the content-addressed model cache")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: fits [-top N] [-j N] [-timeout D] [-unpack] firmware.fw")
+		log.Fatal("usage: fits [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-unpack] firmware.fw")
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -56,6 +58,9 @@ func main() {
 	}
 	opts := fits.DefaultOptions()
 	opts.Parallelism = *jobs
+	if !*noCache {
+		opts.Cache = fits.NewCache(0, *cacheSize)
+	}
 	res, err := fits.AnalyzeContext(ctx, raw, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -27,9 +27,12 @@ func main() {
 	filter := flag.Bool("filter", true, "filter alerts keyed on system-data fields")
 	jobs := flag.Int("j", 0, "worker goroutines for the analysis pipeline (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "abort analysis after this duration (0 = no limit)")
+	cacheSize := flag.Int64("cache-size", 0, "model cache byte budget (0 = default 1 GiB)")
+	noCache := flag.Bool("no-cache", false, "disable the content-addressed model cache")
+	verbose := flag.Bool("v", false, "print model-cache diagnostics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] [-j N] [-timeout D] firmware.fw")
+		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-v] firmware.fw")
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -53,11 +56,19 @@ func main() {
 	}
 	aopts := fits.DefaultOptions()
 	aopts.Parallelism = *jobs
+	if !*noCache {
+		aopts.Cache = fits.NewCache(0, *cacheSize)
+	}
 	res, err := fits.AnalyzeContext(ctx, raw, aopts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s %s %s\n", res.Vendor, res.Product, res.Version)
+	if *verbose {
+		s := res.Cache.Stats
+		fmt.Printf("models: lifted %d, reused %d (cache: %d hits, %d misses, %d evictions, %d bytes)\n",
+			res.Cache.Lifted, res.Cache.Reused, s.Hits, s.Misses, s.Evictions, s.Bytes)
+	}
 	total := 0
 	for _, t := range res.Targets {
 		if err := ctx.Err(); err != nil {

@@ -38,10 +38,29 @@ import (
 	"fits/internal/karonte"
 	"fits/internal/know"
 	"fits/internal/loader"
+	"fits/internal/modelcache"
 	"fits/internal/pool"
 	"fits/internal/score"
 	"fits/internal/taint"
 )
+
+// Cache is a content-addressed, concurrency-safe cache of loaded binary
+// models and derived feature vectors, keyed by the SHA-256 of the binary
+// bytes plus the analysis configuration. One Cache may back any number of
+// concurrent Analyze calls; repeated analyses of firmware images sharing
+// binaries (vendor families, version sweeps) skip re-lifting shared content.
+type Cache = modelcache.Cache
+
+// CacheStats reports the cache counters; see Cache.Stats.
+type CacheStats = modelcache.Stats
+
+// NewCache returns a cache bounded to at most maxEntries cached artifacts
+// and approximately maxBytes of resident model memory (least recently used
+// entries are evicted first). Zero selects the defaults (4096 entries, 1
+// GiB).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	return modelcache.New(maxEntries, maxBytes)
+}
 
 // Options configures Analyze.
 type Options struct {
@@ -55,6 +74,11 @@ type Options struct {
 	// runs the pipeline serially. The result is byte-identical at every
 	// setting.
 	Parallelism int
+	// Cache, when non-nil, memoizes decoded binaries, whole-binary models
+	// and per-target feature vectors across Analyze calls. Results are
+	// byte-identical with and without a cache; only Elapsed and the
+	// CacheInfo diagnostics differ.
+	Cache *Cache
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -84,6 +108,16 @@ func (t *TargetResult) TopCandidates(k int) []Candidate {
 	return t.Candidates[:k]
 }
 
+// CacheInfo summarizes model reuse during one analysis. Lifted counts
+// whole-binary models built fresh; Reused counts models served from the
+// cache (always zero without one). Stats snapshots the cache's lifetime
+// counters after the analysis.
+type CacheInfo struct {
+	Lifted int
+	Reused int
+	Stats  CacheStats
+}
+
 // Result is the outcome of analyzing one firmware image.
 type Result struct {
 	Vendor  string
@@ -91,6 +125,9 @@ type Result struct {
 	Version string
 	Targets []*TargetResult
 	Elapsed time.Duration
+	// Cache reports model reuse; diagnostic only and excluded from
+	// determinism comparisons, like Elapsed.
+	Cache CacheInfo
 }
 
 // Analyze unpacks a firmware image, selects its network binaries, and ranks
@@ -115,6 +152,7 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 	res, err := loader.LoadContext(ctx, raw, loader.Options{
 		SkipResolver: opts.SkipIndirectResolution,
 		Parallelism:  workers,
+		Cache:        opts.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -122,6 +160,7 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 	cfgn := infer.DefaultConfig()
 	cfgn.Metric = opts.Metric
 	cfgn.Parallelism = workers
+	cfgn.Cache = opts.Cache
 	out := &Result{
 		Vendor:  res.Image.Vendor,
 		Product: res.Image.Product,
@@ -145,6 +184,10 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 		return nil, err
 	}
 	out.Elapsed = time.Since(start)
+	out.Cache = CacheInfo{Lifted: res.Lifted, Reused: res.Reused}
+	if opts.Cache != nil {
+		out.Cache.Stats = opts.Cache.Stats()
+	}
 	return out, nil
 }
 

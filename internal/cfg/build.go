@@ -3,7 +3,8 @@ package cfg
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 
 	"fits/internal/binimg"
 	"fits/internal/ir"
@@ -122,7 +123,7 @@ func Build(bin *binimg.Binary, opts Options) (*Model, error) {
 				if len(targets) == 0 {
 					continue
 				}
-				sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+				slices.Sort(targets)
 				// First target fills the site; extra targets become
 				// additional synthetic sites at the same instruction.
 				cs.Target = targets[0]
@@ -300,8 +301,9 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 	}
 
 	// Pass 1: reachable instructions and leaders.
-	reach := map[uint32]isa.Instr{}
-	leaders := map[uint32]bool{entry: true}
+	reach := make(map[uint32]isa.Instr, 64)
+	leaders := make(map[uint32]bool, 8)
+	leaders[entry] = true
 	work := []uint32{entry}
 	for len(work) > 0 {
 		addr := work[len(work)-1]
@@ -349,7 +351,7 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 	for a := range reach {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
 
 	f := &Function{
 		Entry:  entry,
@@ -358,10 +360,11 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 	if name, ok := bin.FuncName(entry); ok {
 		f.Name = name
 	} else {
-		f.Name = fmt.Sprintf("sub_%x", entry)
+		f.Name = "sub_" + strconv.FormatUint(uint64(entry), 16)
 	}
 
 	lifter := ir.NewLifter()
+	lifter.Reserve(len(addrs))
 	var cur *BasicBlock
 	flush := func() {
 		if cur != nil {
@@ -424,10 +427,11 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 	for a := range f.Blocks {
 		f.Order = append(f.Order, a)
 	}
-	sort.Slice(f.Order, func(i, j int) bool { return f.Order[i] < f.Order[j] })
+	slices.Sort(f.Order)
 
-	// Record computed jumps and any resolutions applied.
-	f.JumpTables = map[uint32][]uint32{}
+	// Record computed jumps and any resolutions applied. JumpTables stays
+	// nil (all reads are nil-safe) unless a resolution actually landed:
+	// computed jumps are rare and most functions have none.
 	for _, ba := range f.Order {
 		b := f.Blocks[ba]
 		for i, in := range b.Instrs {
@@ -435,12 +439,15 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 				addr := b.Start + uint32(i*isa.Width)
 				f.DynJumps = append(f.DynJumps, addr)
 				if ts := extraJumps[addr]; len(ts) > 0 {
+					if f.JumpTables == nil {
+						f.JumpTables = map[uint32][]uint32{}
+					}
 					f.JumpTables[addr] = append([]uint32(nil), ts...)
 				}
 			}
 		}
 	}
-	sort.Slice(f.DynJumps, func(i, j int) bool { return f.DynJumps[i] < f.DynJumps[j] })
+	slices.Sort(f.DynJumps)
 
 	f.Loops = findLoops(f)
 	f.Params = estimateParams(f)
@@ -450,8 +457,9 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 // estimateParams counts argument registers (r0..r3) read before written,
 // scanning blocks in address order — the standard stripped-binary heuristic.
 func estimateParams(f *Function) int {
-	written := map[isa.Reg]bool{}
-	used := map[isa.Reg]bool{}
+	// Only r0..r3 matter, so two tiny arrays beat two heap maps on a path
+	// that runs once per recovered function.
+	var written, used [4]bool
 	var scanExpr func(e ir.Expr)
 	scanExpr = func(e ir.Expr) {
 		switch e := e.(type) {

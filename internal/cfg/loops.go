@@ -1,6 +1,6 @@
 package cfg
 
-import "sort"
+import "slices"
 
 // findLoops computes natural loops from back edges using dominators.
 func findLoops(f *Function) []Loop {
@@ -19,7 +19,7 @@ func findLoops(f *Function) []Loop {
 			}
 		}
 	}
-	sort.Slice(loops, func(i, j int) bool { return loops[i].Head < loops[j].Head })
+	slices.SortFunc(loops, func(a, b Loop) int { return int(a.Head) - int(b.Head) })
 	return loops
 }
 

@@ -51,43 +51,147 @@ func merge(a, b AVal) AVal {
 	return top(t)
 }
 
-// loc is an abstract storage location: a register or a stack slot keyed by
-// its offset from the function-entry stack pointer.
-type loc struct {
-	reg   isa.Reg // valid when isReg
-	isReg bool
-	slot  int32 // SP-entry-relative offset
+// loc is an abstract storage location: a register, a stack slot keyed by its
+// offset from the function-entry stack pointer, or a global address — encoded
+// as a single ordered integer so states can be kept as sorted slices. The
+// kind lives in the high bits, the value in the low 32.
+type loc uint64
+
+const (
+	locKindReg  = uint64(0) << 32
+	locKindSlot = uint64(1) << 32
+	locKindGlob = uint64(2) << 32
+)
+
+func regLoc(r isa.Reg) loc    { return loc(locKindReg | uint64(uint8(r))) }
+func slotLoc(off int32) loc   { return loc(locKindSlot | uint64(uint32(off))) }
+func globLoc(addr uint32) loc { return loc(locKindGlob | uint64(addr)) }
+
+// stateEntry is one (location, value) binding of an abstract state.
+type stateEntry struct {
+	loc loc
+	val AVal
 }
 
-func regLoc(r isa.Reg) loc  { return loc{isReg: true, reg: r} }
-func slotLoc(off int32) loc { return loc{slot: off} }
+// absState maps locations to abstract values; missing locations are
+// untainted Top. The representation is a slice of entries sorted by loc with
+// copy-on-write sharing: clone is O(1) and marks both states shared, and the
+// first mutation of a shared state copies the entries once. This replaces
+// the map-per-edge cloning that dominated the pipeline's allocation profile.
+type absState struct {
+	entries []stateEntry
+	shared  bool // entries are aliased by another state; copy before writing
+}
 
-// absState maps locations to abstract values. Missing locations are
-// untainted Top.
-type absState map[loc]AVal
+// clone returns a state observationally equal to s. Both states keep sharing
+// the entry slice until one of them writes.
+func (s *absState) clone() absState {
+	s.shared = true
+	return absState{entries: s.entries, shared: true}
+}
 
-func (s absState) clone() absState {
-	ns := make(absState, len(s))
-	for k, v := range s {
-		ns[k] = v
+// own makes the entry slice exclusively s's, copying it if shared.
+func (s *absState) own() {
+	if s.shared {
+		s.entries = append(make([]stateEntry, 0, len(s.entries)+8), s.entries...)
+		s.shared = false
 	}
-	return ns
 }
 
-// join merges another state into s, reporting whether s changed.
-func (s absState) join(o absState) bool {
-	changed := false
-	for k, v := range o {
-		if cur, ok := s[k]; ok {
-			nv := merge(cur, v)
-			if nv != cur {
-				s[k] = nv
-				changed = true
-			}
+// find returns the index of l in the sorted entries, or the insertion point
+// with ok=false.
+func (s *absState) find(l loc) (int, bool) {
+	lo, hi := 0, len(s.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.entries[mid].loc < l {
+			lo = mid + 1
 		} else {
-			s[k] = v
-			changed = true
+			hi = mid
 		}
 	}
-	return changed
+	return lo, lo < len(s.entries) && s.entries[lo].loc == l
+}
+
+// get returns the value bound to l; missing locations read as untainted Top.
+func (s *absState) get(l loc) AVal {
+	if i, ok := s.find(l); ok {
+		return s.entries[i].val
+	}
+	return AVal{Kind: KTop}
+}
+
+// set binds l to v, copying the shared entry slice first if needed.
+func (s *absState) set(l loc, v AVal) {
+	i, ok := s.find(l)
+	if ok {
+		if s.entries[i].val == v {
+			return
+		}
+		s.own()
+		s.entries[i].val = v
+		return
+	}
+	s.own()
+	s.entries = append(s.entries, stateEntry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = stateEntry{loc: l, val: v}
+}
+
+// join merges another state into s, reporting whether s changed: bindings
+// present in both merge pointwise, bindings only in o are inserted, bindings
+// only in s are kept. This is observationally the map-based union join.
+func (s *absState) join(o *absState) bool {
+	if len(o.entries) == 0 {
+		return false
+	}
+	// Fast path: probe for a change before copying anything.
+	changed := false
+	i, j := 0, 0
+	for i < len(s.entries) && j < len(o.entries) {
+		a, b := s.entries[i].loc, o.entries[j].loc
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			changed = true // o-only binding must be inserted
+			j++
+		default:
+			if merge(s.entries[i].val, o.entries[j].val) != s.entries[i].val {
+				changed = true
+			}
+			i++
+			j++
+		}
+		if changed {
+			break
+		}
+	}
+	if !changed && j >= len(o.entries) {
+		return false
+	}
+
+	// Slow path: build the merged slice into a fresh buffer.
+	out := make([]stateEntry, 0, len(s.entries)+len(o.entries))
+	i, j = 0, 0
+	for i < len(s.entries) && j < len(o.entries) {
+		a, b := s.entries[i], o.entries[j]
+		switch {
+		case a.loc < b.loc:
+			out = append(out, a)
+			i++
+		case a.loc > b.loc:
+			out = append(out, b)
+			j++
+		default:
+			out = append(out, stateEntry{loc: a.loc, val: merge(a.val, b.val)})
+			i++
+			j++
+		}
+	}
+	out = append(out, s.entries[i:]...)
+	out = append(out, o.entries[j:]...)
+	s.entries = out
+	s.shared = false
+	return true
 }

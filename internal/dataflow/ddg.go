@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"slices"
 	"sort"
 
 	"fits/internal/cfg"
@@ -35,7 +36,7 @@ func (g *DDG) UsesOf(def uint32) []uint32 {
 			out = append(out, e.Use)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -47,7 +48,7 @@ func (g *DDG) DefsOf(use uint32) []uint32 {
 			out = append(out, e.Def)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

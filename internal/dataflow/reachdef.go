@@ -15,6 +15,9 @@ type FlowFacts struct {
 	ParamControlsBranch bool
 	ParamToAnchor       bool
 	TaintedReturn       bool
+	// Truncated reports that the fixpoint budget ran out before the dataflow
+	// converged; the other facts are then a sound-but-incomplete snapshot.
+	Truncated bool
 }
 
 // AnchorInfo describes a call target recognized as an anchor function.
@@ -27,8 +30,15 @@ type AnchorInfo struct {
 // that matches import names against the anchor set.
 type AnchorFunc func(cs cfg.CallSite) AnchorInfo
 
-// globLoc returns the location for a global (absolute) address.
-func globLoc(addr uint32) loc { return loc{slot: int32(addr), isReg: false, reg: 0xff} }
+// maxPasses bounds the fixpoint as full sweeps over the blocks in reverse
+// postorder, not worklist pops: one pass visits every pending block once, so
+// the budget a function gets scales with its size instead of silently
+// starving large functions. The lattice is shallow (taint bits only grow,
+// shapes only collapse to Top), so convergence needs about one pass per
+// level of loop nesting; 64 is far beyond any real CFG and exists only as a
+// runaway guard. Exhaustion is surfaced via FlowFacts.Truncated. A variable
+// only so tests can drive the truncation path.
+var maxPasses = 64
 
 // Analyze runs the reaching-definition taint dataflow over fn and extracts
 // its flow facts. anchors may be nil when anchor classification is not
@@ -46,6 +56,55 @@ type analyzer struct {
 	inLoop  map[uint32]bool
 	// callsAt maps call instruction addresses to their sites.
 	callsAt map[uint32][]cfg.CallSite
+	// temps is the per-block temporary environment, reused across transfer
+	// calls to avoid one map allocation per block visit.
+	temps map[ir.Temp]AVal
+}
+
+// rpo returns the blocks reachable from the entry in reverse postorder,
+// restricted to blocks that exist in fn.Blocks. Successors are traversed in
+// their stored order; the result is deterministic for a given CFG.
+func rpo(fn *cfg.Function) []uint32 {
+	if _, ok := fn.Blocks[fn.Entry]; !ok {
+		return nil
+	}
+	seen := make(map[uint32]bool, len(fn.Blocks))
+	post := make([]uint32, 0, len(fn.Blocks))
+	// Iterative DFS; the frame remembers how many successors were expanded.
+	type frame struct {
+		addr uint32
+		next int
+	}
+	stack := []frame{{addr: fn.Entry}}
+	seen[fn.Entry] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := fn.Blocks[fr.addr].Succs
+		advanced := false
+		for fr.next < len(succs) {
+			s := succs[fr.next]
+			fr.next++
+			if seen[s] {
+				continue
+			}
+			if _, ok := fn.Blocks[s]; !ok {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, frame{addr: s})
+			advanced = true
+			break
+		}
+		if !advanced {
+			post = append(post, fr.addr)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Reverse the postorder in place.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
 }
 
 func (a *analyzer) run() FlowFacts {
@@ -59,68 +118,88 @@ func (a *analyzer) run() FlowFacts {
 	for _, cs := range a.fn.Calls {
 		a.callsAt[cs.Addr] = append(a.callsAt[cs.Addr], cs)
 	}
+	a.temps = map[ir.Temp]AVal{}
 
-	entry := absState{}
+	var entry absState
 	for i := 0; i < a.fn.Params && i < 4; i++ {
-		entry[regLoc(isa.Reg(i))] = AVal{Kind: KTop, Taint: ParamMask(1 << i)}
+		entry.set(regLoc(isa.Reg(i)), AVal{Kind: KTop, Taint: ParamMask(1 << i)})
 	}
-	entry[regLoc(isa.SP)] = AVal{Kind: KSPRel, C: 0}
+	entry.set(regLoc(isa.SP), AVal{Kind: KSPRel, C: 0})
 
-	in := map[uint32]absState{a.fn.Entry: entry}
-	work := []uint32{a.fn.Entry}
-	inWork := map[uint32]bool{a.fn.Entry: true}
-	const maxIters = 4096
-	for iters := 0; len(work) > 0 && iters < maxIters; iters++ {
-		b := work[0]
-		work = work[1:]
-		inWork[b] = false
-		blk, ok := a.fn.Blocks[b]
-		if !ok {
-			continue
-		}
-		st, ok := in[b]
-		if !ok {
-			continue
-		}
-		out := a.transfer(blk, st.clone())
-		for _, succ := range blk.Succs {
-			if _, ok := a.fn.Blocks[succ]; !ok {
+	// Fixpoint over the blocks in reverse postorder: forward analyses
+	// converge in a handful of RPO sweeps because every block sees its
+	// forward predecessors' fresh output within the same pass, and the visit
+	// order — hence the join order, hence the intermediate states — no
+	// longer depends on how a worklist happened to be popped.
+	order := rpo(a.fn)
+	idx := make(map[uint32]int, len(order))
+	for i, b := range order {
+		idx[b] = i
+	}
+	in := make([]absState, len(order))
+	dirty := make([]bool, len(order))
+	have := make([]bool, len(order))
+	if len(order) > 0 {
+		in[0] = entry
+		have[0] = true
+		dirty[0] = true
+	}
+	converged := len(order) == 0
+	for pass := 0; pass < maxPasses; pass++ {
+		pending := false
+		for i, b := range order {
+			if !dirty[i] {
 				continue
 			}
-			cur, ok := in[succ]
-			if !ok {
-				in[succ] = out.clone()
-			} else if !cur.join(out) {
-				continue
-			}
-			if !inWork[succ] {
-				work = append(work, succ)
-				inWork[succ] = true
+			dirty[i] = false
+			blk := a.fn.Blocks[b]
+			out := in[i].clone()
+			a.transfer(blk, &out)
+			for _, succ := range blk.Succs {
+				si, ok := idx[succ]
+				if !ok {
+					continue
+				}
+				if !have[si] {
+					in[si] = out.clone()
+					have[si] = true
+				} else if !in[si].join(&out) {
+					continue
+				}
+				if !dirty[si] {
+					dirty[si] = true
+					if si <= i {
+						pending = true // back edge: needs another pass
+					}
+				}
 			}
 		}
+		if !pending {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		a.facts.Truncated = true
 	}
 
 	// Final recording pass over the fixed point.
 	a.record = true
 	for _, ba := range a.fn.Order {
-		st, ok := in[ba]
-		if !ok {
+		i, ok := idx[ba]
+		if !ok || !have[i] {
 			continue
 		}
-		a.transfer(a.fn.Blocks[ba], st.clone())
+		st := in[i].clone()
+		a.transfer(a.fn.Blocks[ba], &st)
 	}
 	return a.facts
 }
 
-// transfer interprets one basic block over an abstract state.
-func (a *analyzer) transfer(blk *cfg.BasicBlock, st absState) absState {
-	temps := map[ir.Temp]AVal{}
-	get := func(l loc) AVal {
-		if v, ok := st[l]; ok {
-			return v
-		}
-		return AVal{Kind: KTop}
-	}
+// transfer interprets one basic block over an abstract state, mutating st.
+func (a *analyzer) transfer(blk *cfg.BasicBlock, st *absState) {
+	temps := a.temps
+	clear(temps)
 	var eval func(e ir.Expr) AVal
 	eval = func(e ir.Expr) AVal {
 		switch e := e.(type) {
@@ -132,7 +211,7 @@ func (a *analyzer) transfer(blk *cfg.BasicBlock, st absState) absState {
 			}
 			return AVal{Kind: KTop}
 		case ir.Get:
-			return get(regLoc(e.R))
+			return st.get(regLoc(e.R))
 		case ir.Binop:
 			l, r := eval(e.L), eval(e.R)
 			t := l.Taint | r.Taint
@@ -151,11 +230,11 @@ func (a *analyzer) transfer(blk *cfg.BasicBlock, st absState) absState {
 			addr := eval(e.Addr)
 			switch addr.Kind {
 			case KSPRel:
-				v := get(slotLoc(addr.C))
+				v := st.get(slotLoc(addr.C))
 				v.Taint |= addr.Taint
 				return v
 			case KConst:
-				v := get(globLoc(uint32(addr.C)))
+				v := st.get(globLoc(uint32(addr.C)))
 				v.Taint |= addr.Taint
 				return AVal{Kind: KTop, Taint: v.Taint}
 			}
@@ -172,15 +251,15 @@ func (a *analyzer) transfer(blk *cfg.BasicBlock, st absState) absState {
 			case ir.WrTmp:
 				temps[s.T] = eval(s.E)
 			case ir.Put:
-				st[regLoc(s.R)] = eval(s.E)
+				st.set(regLoc(s.R), eval(s.E))
 			case ir.Store:
 				addr := eval(s.Addr)
 				val := eval(s.Val)
 				switch addr.Kind {
 				case KSPRel:
-					st[slotLoc(addr.C)] = val
+					st.set(slotLoc(addr.C), val)
 				case KConst:
-					st[globLoc(uint32(addr.C))] = val
+					st.set(globLoc(uint32(addr.C)), val)
 				}
 			case ir.Exit:
 				if a.record {
@@ -200,7 +279,7 @@ func (a *analyzer) transfer(blk *cfg.BasicBlock, st absState) absState {
 							continue
 						}
 						for i := 0; i < info.Arity && i < 4; i++ {
-							if get(regLoc(isa.Reg(i))).Taint.Has() {
+							if st.get(regLoc(isa.Reg(i))).Taint.Has() {
 								a.facts.ParamToAnchor = true
 							}
 						}
@@ -211,23 +290,22 @@ func (a *analyzer) transfer(blk *cfg.BasicBlock, st absState) absState {
 				// such as anchors derives from what was passed in).
 				var t ParamMask
 				for i := isa.Reg(0); i < 4; i++ {
-					t |= get(regLoc(i)).Taint
+					t |= st.get(regLoc(i)).Taint
 				}
 				for i := isa.Reg(0); i < 4; i++ {
-					st[regLoc(i)] = AVal{Kind: KTop}
+					st.set(regLoc(i), AVal{Kind: KTop})
 				}
-				st[regLoc(isa.R0)] = top(t)
-				st[regLoc(isa.LR)] = AVal{Kind: KTop}
+				st.set(regLoc(isa.R0), top(t))
+				st.set(regLoc(isa.LR), AVal{Kind: KTop})
 			case ir.Ret:
-				if a.record && get(regLoc(isa.R0)).Taint.Has() {
+				if a.record && st.get(regLoc(isa.R0)).Taint.Has() {
 					a.facts.TaintedReturn = true
 				}
 			case ir.Sys:
-				st[regLoc(isa.R0)] = AVal{Kind: KTop}
+				st.set(regLoc(isa.R0), AVal{Kind: KTop})
 			}
 		}
 	}
-	return st
 }
 
 func foldConst(op ir.BinOp, a, b int32) int32 {

@@ -1,0 +1,63 @@
+package dataflow
+
+import (
+	"testing"
+
+	"fits/internal/cfg"
+	"fits/internal/ir"
+	"fits/internal/isa"
+)
+
+// loopFn builds a hand-assembled function whose fixpoint needs a second RPO
+// pass: a loop A -> B -> C -> B where C moves the parameter's taint into r1,
+// so B's input only gains the r1 taint when C's back edge is re-joined.
+func loopFn() *cfg.Function {
+	blk := func(start uint32, stmts []ir.Stmt, succs ...uint32) *cfg.BasicBlock {
+		return &cfg.BasicBlock{
+			Start: start,
+			IR:    []*ir.Block{{Addr: start, Stmts: stmts}},
+			Succs: succs,
+		}
+	}
+	a := blk(0x0, nil, 0x10)
+	b := blk(0x10, []ir.Stmt{
+		// r2 = r1: observable only once r1 carries taint (second pass).
+		ir.WrTmp{T: 0, E: ir.Get{R: isa.Reg(1)}},
+		ir.Put{R: isa.Reg(2), E: ir.RdTmp{T: 0}},
+	}, 0x20)
+	c := blk(0x20, []ir.Stmt{
+		// r1 = r0: moves the parameter taint into r1 before looping back.
+		ir.WrTmp{T: 1, E: ir.Get{R: isa.Reg(0)}},
+		ir.Put{R: isa.Reg(1), E: ir.RdTmp{T: 1}},
+		// Branch on r2 so the converged loop records param-controls-branch.
+		ir.WrTmp{T: 2, E: ir.Get{R: isa.Reg(2)}},
+		ir.Exit{Cond: ir.RdTmp{T: 2}, Target: 0x10},
+	}, 0x10)
+	return &cfg.Function{
+		Entry:  0x0,
+		Name:   "loop",
+		Blocks: map[uint32]*cfg.BasicBlock{0x0: a, 0x10: b, 0x20: c},
+		Order:  []uint32{0x0, 0x10, 0x20},
+		Loops:  []cfg.Loop{{Head: 0x10, Body: map[uint32]bool{0x10: true, 0x20: true}}},
+		Params: 1,
+	}
+}
+
+func TestFixpointConvergesWithinDefaultBudget(t *testing.T) {
+	facts := Analyze(loopFn(), nil)
+	if facts.Truncated {
+		t.Fatal("small loop must converge within the default pass budget")
+	}
+	if !facts.ParamControlsBranch || !facts.ParamControlsLoop {
+		t.Errorf("converged facts = %+v, want param-controlled loop branch", facts)
+	}
+}
+
+func TestFixpointBudgetTruncationIsSurfaced(t *testing.T) {
+	defer func(old int) { maxPasses = old }(maxPasses)
+	maxPasses = 1
+	facts := Analyze(loopFn(), nil)
+	if !facts.Truncated {
+		t.Fatal("exhausted pass budget must set FlowFacts.Truncated")
+	}
+}

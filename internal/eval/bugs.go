@@ -58,7 +58,7 @@ type BugResult struct {
 // verify top candidates, then feed confirmed ITSs to the engines. The
 // manifest stands in for manual verification.
 func inferredITS(s *synth.Sample, t *loader.Target) []uint32 {
-	ranking := infer.InferTarget(t, infer.DefaultConfig())
+	ranking := infer.InferTarget(t, cached(infer.DefaultConfig()))
 	truth := map[uint32]bool{}
 	for _, its := range s.Manifest.ITS {
 		if its.Binary == t.Bin.Name {
@@ -78,7 +78,7 @@ func inferredITS(s *synth.Sample, t *loader.Target) []uint32 {
 func RunBugEngine(s *synth.Sample, kind EngineKind) BugResult {
 	start := time.Now()
 	out := BugResult{Manifest: s.Manifest, Engine: kind, FoundFlows: map[uint32]bool{}}
-	res, err := loader.Load(s.Packed, loader.Options{})
+	res, err := loadCached(s.Packed)
 	if err != nil {
 		out.Elapsed = time.Since(start)
 		return out

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"fits/internal/infer"
-	"fits/internal/loader"
 	"fits/internal/synth"
 )
 
@@ -64,13 +63,13 @@ func itsRank(man *synth.Manifest, rankings []*infer.Ranking) int {
 func RunInference(s *synth.Sample, cfg infer.Config) InferenceResult {
 	start := time.Now()
 	out := InferenceResult{Manifest: s.Manifest}
-	res, err := loader.Load(s.Packed, loader.Options{})
+	res, err := loadCached(s.Packed)
 	if err != nil {
 		out.LoadErr = err
 		out.Elapsed = time.Since(start)
 		return out
 	}
-	out.Rankings = infer.InferAll(res, cfg)
+	out.Rankings = infer.InferAll(res, cached(cfg))
 	out.ITSRank = itsRank(&s.Manifest, out.Rankings)
 	out.Elapsed = time.Since(start)
 	return out

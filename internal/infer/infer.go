@@ -21,6 +21,7 @@ import (
 	"fits/internal/cluster"
 	"fits/internal/dataflow"
 	"fits/internal/loader"
+	"fits/internal/modelcache"
 	"fits/internal/pool"
 	"fits/internal/score"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// Parallelism bounds the goroutines extracting per-function vectors;
 	// 0 means runtime.GOMAXPROCS(0). Output is deterministic at any value.
 	Parallelism int
+	// Cache memoizes the per-target base vectors (custom functions and
+	// anchors) by binary content hash and representation. Variant sweeps
+	// that only mask features (DropFeature) or change strategy/metric derive
+	// from the cached base instead of re-extracting. Nil disables caching;
+	// caching also requires targets loaded with a cache (content hashes set).
+	Cache *modelcache.Cache
 }
 
 // DefaultConfig is the paper's configuration: BFV + clustering + cosine.
@@ -134,13 +141,93 @@ func vectorFor(rep Representation, ex *bfv.Extractor, bin *binimg.Binary, m *cfg
 	}
 }
 
+// vectorCache returns the cache to consult for t's derived vectors, or nil:
+// content-addressed keys need t's hashes, which only a cache-enabled load
+// fills in (a zero hash would alias every unhashed target).
+func vectorCache(t *loader.Target, cfgn Config) *modelcache.Cache {
+	if cfgn.Cache == nil || t.Hash == (modelcache.Hash{}) {
+		return nil
+	}
+	return cfgn.Cache
+}
+
+// cachedVectors memoizes a vector-slice computation under key, returning a
+// copy so callers may transform elements in place (ablation masking,
+// preprocessing) without corrupting the cached base.
+func cachedVectors(c *modelcache.Cache, key string, compute func() ([]bfv.Vector, error)) ([]bfv.Vector, error) {
+	if c == nil {
+		return compute()
+	}
+	v, _, err := c.GetOrCompute(key, func() (any, int64, error) {
+		vecs, err := compute()
+		if err != nil {
+			return nil, 0, err
+		}
+		return vecs, int64(len(vecs)*bfv.Dim*8) + 64, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := v.([]bfv.Vector)
+	return append(make([]bfv.Vector, 0, len(base)), base...), nil
+}
+
+// customVectors extracts the representation vector of every custom function,
+// in CustomFuncs order, fanning out across the pool. With a cache the whole
+// per-target slice is memoized on (content hash, representation): RQ3/RQ4
+// and ablation sweeps re-rank the same base vectors many times and only the
+// first pass pays for extraction.
+func customVectors(ctx context.Context, t *loader.Target, cfgn Config, customs []*cfg.Function) ([]bfv.Vector, error) {
+	compute := func() ([]bfv.Vector, error) {
+		ex := bfv.New(t.Bin, t.Model)
+		out := make([]bfv.Vector, len(customs))
+		err := pool.ForEach(ctx, cfgn.Parallelism, len(customs), func(i int) error {
+			out[i] = vectorFor(cfgn.Representation, ex, t.Bin, t.Model, customs[i])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	c := vectorCache(t, cfgn)
+	key := ""
+	if c != nil {
+		key = modelcache.Key("bfv", "rep="+cfgn.Representation.String(), t.Hash)
+	}
+	return cachedVectors(c, key, compute)
+}
+
 // anchorVectors extracts representation vectors for every anchor
 // implementation in the target's dependency libraries. For BFV the anchor's
 // caller count also includes call sites in the target binary reaching the
 // anchor's PLT stub, since the library alone understates how busy an anchor
 // is. Extraction fans out across the pool; the returned order is the serial
-// one (libraries by name, exports in table order) at any parallelism.
+// one (libraries by name, exports in table order) at any parallelism. With a
+// cache the slice is memoized on the target's and its libraries' content
+// hashes plus the representation.
 func anchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([]bfv.Vector, error) {
+	c := vectorCache(t, cfgn)
+	if c == nil {
+		return extractAnchorVectors(ctx, t, cfgn)
+	}
+	libs := make([]string, 0, len(t.LibHashes))
+	for name := range t.LibHashes {
+		libs = append(libs, name)
+	}
+	sort.Strings(libs)
+	hashes := make([]modelcache.Hash, 0, len(libs)+1)
+	hashes = append(hashes, t.Hash)
+	for _, name := range libs {
+		hashes = append(hashes, t.LibHashes[name])
+	}
+	key := modelcache.Key("anchors", "rep="+cfgn.Representation.String(), hashes...)
+	return cachedVectors(c, key, func() ([]bfv.Vector, error) {
+		return extractAnchorVectors(ctx, t, cfgn)
+	})
+}
+
+func extractAnchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([]bfv.Vector, error) {
 	// Count target-side callers per import name.
 	stubCallers := map[string]int{}
 	for _, f := range t.Model.FuncsInOrder() {
@@ -240,19 +327,14 @@ func InferTarget(t *loader.Target, cfgn Config) *Ranking {
 // ranking is byte-identical at every worker count. The only error returned
 // is the context's.
 func InferTargetContext(ctx context.Context, t *loader.Target, cfgn Config) (*Ranking, error) {
-	ex := bfv.New(t.Bin, t.Model)
 	customs := t.Model.CustomFuncs()
-	points := make([]cluster.Point, len(customs))
-	err := pool.ForEach(ctx, cfgn.Parallelism, len(customs), func(i int) error {
-		f := customs[i]
-		points[i] = cluster.Point{
-			Entry: f.Entry,
-			Vec:   vectorFor(cfgn.Representation, ex, t.Bin, t.Model, f),
-		}
-		return nil
-	})
+	base, err := customVectors(ctx, t, cfgn, customs)
 	if err != nil {
 		return nil, err
+	}
+	points := make([]cluster.Point, len(customs))
+	for i, f := range customs {
+		points[i] = cluster.Point{Entry: f.Entry, Vec: base[i]}
 	}
 	anchors, err := anchorVectors(ctx, t, cfgn)
 	if err != nil {

@@ -9,8 +9,40 @@ import (
 // Lifter translates machine instructions into IR blocks. Temporaries are
 // numbered per lifter so that a whole function lifted by one Lifter has a
 // single temporary namespace, which the dataflow analyses rely on.
+//
+// Blocks and statements are carved out of chunked arenas owned by the
+// lifter, so lifting a function costs a handful of chunk allocations instead
+// of one Block plus one Stmts slice per instruction. Chunks are append-only
+// and never reallocated (a fresh chunk starts before one could grow), so
+// returned pointers and subslices stay valid for the lifter's lifetime.
 type Lifter struct {
-	next Temp
+	next   Temp
+	blocks []Block
+	stmts  []Stmt
+}
+
+const (
+	blockChunk = 32
+	stmtChunk  = 128
+	// maxLiftStmts is the most statements one instruction can lift to
+	// (push/pop emit five); a new stmt chunk starts when fewer remain.
+	maxLiftStmts = 8
+)
+
+// Reserve sizes the arenas for about n instructions, so a caller that knows
+// the function's extent up front (the CFG builder) pays one allocation per
+// arena instead of one per chunk. Instructions average about three
+// statements; the arena falls back to chunking if the estimate runs short.
+func (l *Lifter) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(l.blocks)-len(l.blocks) < n {
+		l.blocks = make([]Block, 0, n)
+	}
+	if want := 3*n + maxLiftStmts; cap(l.stmts)-len(l.stmts) < want {
+		l.stmts = make([]Stmt, 0, want)
+	}
 }
 
 // NewLifter returns a lifter with a fresh temporary namespace.
@@ -25,111 +57,131 @@ func (l *Lifter) tmp() Temp {
 // NumTemps returns the number of temporaries allocated so far.
 func (l *Lifter) NumTemps() int { return int(l.next) }
 
+// Instruction-to-IR operator tables, hoisted to package level so Lift does
+// not materialize a fresh map per lifted instruction (these two literals
+// dominated the lift path's allocation profile).
+var binOpFor = map[isa.Op]BinOp{
+	isa.OpAdd: Add, isa.OpSub: Sub, isa.OpMul: Mul, isa.OpDiv: Div,
+	isa.OpAnd: And, isa.OpOr: Or, isa.OpXor: Xor, isa.OpShl: Shl,
+	isa.OpShr: Shr,
+}
+
+var cmpOpFor = map[isa.Op]BinOp{
+	isa.OpBeq: CmpEQ, isa.OpBne: CmpNE, isa.OpBlt: CmpLT, isa.OpBge: CmpGE,
+}
+
+func (l *Lifter) emit(s Stmt) { l.stmts = append(l.stmts, s) }
+
+// read loads a register into a fresh temporary and returns it.
+func (l *Lifter) read(r isa.Reg) Expr {
+	t := l.tmp()
+	l.emit(WrTmp{T: t, E: Get{R: r}})
+	return RdTmp{T: t}
+}
+
+func (l *Lifter) bin(op BinOp, x, y Expr) Expr {
+	t := l.tmp()
+	l.emit(WrTmp{T: t, E: Binop{Op: op, L: x, R: y}})
+	return RdTmp{T: t}
+}
+
 // Lift translates one instruction at the given address. The address is
 // needed to resolve fall-through targets of conditional branches.
 func (l *Lifter) Lift(addr uint32, in isa.Instr) (*Block, error) {
-	b := &Block{Addr: addr, Raw: in}
-	emit := func(s Stmt) { b.Stmts = append(b.Stmts, s) }
-	// read loads a register into a fresh temporary and returns it.
-	read := func(r isa.Reg) Expr {
-		t := l.tmp()
-		emit(WrTmp{T: t, E: Get{R: r}})
-		return RdTmp{T: t}
+	if len(l.blocks) == cap(l.blocks) {
+		l.blocks = make([]Block, 0, blockChunk)
 	}
-	bin := func(op BinOp, x, y Expr) Expr {
-		t := l.tmp()
-		emit(WrTmp{T: t, E: Binop{Op: op, L: x, R: y}})
-		return RdTmp{T: t}
+	if cap(l.stmts)-len(l.stmts) < maxLiftStmts {
+		l.stmts = make([]Stmt, 0, stmtChunk)
 	}
+	l.blocks = append(l.blocks, Block{Addr: addr, Raw: in})
+	b := &l.blocks[len(l.blocks)-1]
+	start := len(l.stmts)
 
 	switch in.Op {
 	case isa.OpNop:
 		// no statements
 
 	case isa.OpMovi:
-		emit(Put{R: in.Rd, E: Const{V: int64(in.Imm)}})
+		l.emit(Put{R: in.Rd, E: Const{V: int64(in.Imm)}})
 
 	case isa.OpMov:
-		emit(Put{R: in.Rd, E: read(in.Rs1)})
+		l.emit(Put{R: in.Rd, E: l.read(in.Rs1)})
 
 	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
 		isa.OpXor, isa.OpShl, isa.OpShr:
-		op := map[isa.Op]BinOp{
-			isa.OpAdd: Add, isa.OpSub: Sub, isa.OpMul: Mul, isa.OpDiv: Div,
-			isa.OpAnd: And, isa.OpOr: Or, isa.OpXor: Xor, isa.OpShl: Shl,
-			isa.OpShr: Shr,
-		}[in.Op]
-		emit(Put{R: in.Rd, E: bin(op, read(in.Rs1), read(in.Rs2))})
+		l.emit(Put{R: in.Rd, E: l.bin(binOpFor[in.Op], l.read(in.Rs1), l.read(in.Rs2))})
 
 	case isa.OpAddi:
-		emit(Put{R: in.Rd, E: bin(Add, read(in.Rs1), Const{V: int64(in.Imm)})})
+		l.emit(Put{R: in.Rd, E: l.bin(Add, l.read(in.Rs1), Const{V: int64(in.Imm)})})
 
 	case isa.OpLdb, isa.OpLdw:
 		size := 1
 		if in.Op == isa.OpLdw {
 			size = isa.WordSize
 		}
-		addrE := bin(Add, read(in.Rs1), Const{V: int64(in.Imm)})
+		addrE := l.bin(Add, l.read(in.Rs1), Const{V: int64(in.Imm)})
 		t := l.tmp()
-		emit(WrTmp{T: t, E: Load{Addr: addrE, Size: size}})
-		emit(Put{R: in.Rd, E: RdTmp{T: t}})
+		l.emit(WrTmp{T: t, E: Load{Addr: addrE, Size: size}})
+		l.emit(Put{R: in.Rd, E: RdTmp{T: t}})
 
 	case isa.OpStb, isa.OpStw:
 		size := 1
 		if in.Op == isa.OpStw {
 			size = isa.WordSize
 		}
-		val := read(in.Rs2)
-		addrE := bin(Add, read(in.Rs1), Const{V: int64(in.Imm)})
-		emit(Store{Addr: addrE, Val: val, Size: size})
+		val := l.read(in.Rs2)
+		addrE := l.bin(Add, l.read(in.Rs1), Const{V: int64(in.Imm)})
+		l.emit(Store{Addr: addrE, Val: val, Size: size})
 
 	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
-		op := map[isa.Op]BinOp{
-			isa.OpBeq: CmpEQ, isa.OpBne: CmpNE, isa.OpBlt: CmpLT, isa.OpBge: CmpGE,
-		}[in.Op]
-		cond := bin(op, read(in.Rs1), read(in.Rs2))
-		emit(Exit{Cond: cond, Target: uint32(in.Imm)})
+		cond := l.bin(cmpOpFor[in.Op], l.read(in.Rs1), l.read(in.Rs2))
+		l.emit(Exit{Cond: cond, Target: uint32(in.Imm)})
 
 	case isa.OpJmp:
-		emit(Jump{Target: uint32(in.Imm)})
+		l.emit(Jump{Target: uint32(in.Imm)})
 
 	case isa.OpJr:
-		emit(Jump{Dyn: read(in.Rs1)})
+		l.emit(Jump{Dyn: l.read(in.Rs1)})
 
 	case isa.OpCall:
-		emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
-		emit(Call{Kind: CallDirect, Target: uint32(in.Imm)})
+		l.emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
+		l.emit(Call{Kind: CallDirect, Target: uint32(in.Imm)})
 
 	case isa.OpCallr:
-		target := read(in.Rs1)
-		emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
-		emit(Call{Kind: CallIndirect, Dyn: target})
+		target := l.read(in.Rs1)
+		l.emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
+		l.emit(Call{Kind: CallIndirect, Dyn: target})
 
 	case isa.OpRet:
-		emit(Ret{})
+		l.emit(Ret{})
 
 	case isa.OpPush:
-		val := read(in.Rs1)
-		sp := bin(Sub, read(isa.SP), Const{V: isa.WordSize})
-		emit(Put{R: isa.SP, E: sp})
-		emit(Store{Addr: sp, Val: val, Size: isa.WordSize})
+		val := l.read(in.Rs1)
+		sp := l.bin(Sub, l.read(isa.SP), Const{V: isa.WordSize})
+		l.emit(Put{R: isa.SP, E: sp})
+		l.emit(Store{Addr: sp, Val: val, Size: isa.WordSize})
 
 	case isa.OpPop:
-		sp := read(isa.SP)
+		sp := l.read(isa.SP)
 		t := l.tmp()
-		emit(WrTmp{T: t, E: Load{Addr: sp, Size: isa.WordSize}})
-		emit(Put{R: in.Rd, E: RdTmp{T: t}})
-		emit(Put{R: isa.SP, E: bin(Add, sp, Const{V: isa.WordSize})})
+		l.emit(WrTmp{T: t, E: Load{Addr: sp, Size: isa.WordSize}})
+		l.emit(Put{R: in.Rd, E: RdTmp{T: t}})
+		l.emit(Put{R: isa.SP, E: l.bin(Add, sp, Const{V: isa.WordSize})})
 
 	case isa.OpSys:
-		emit(Sys{Num: in.Imm})
+		l.emit(Sys{Num: in.Imm})
 
 	case isa.OpTramp:
-		emit(Call{Kind: CallTramp, GOT: uint32(in.Imm)})
-		emit(Ret{})
+		l.emit(Call{Kind: CallTramp, GOT: uint32(in.Imm)})
+		l.emit(Ret{})
 
 	default:
+		l.blocks = l.blocks[:len(l.blocks)-1]
 		return nil, fmt.Errorf("ir: cannot lift %v at 0x%x", in.Op, addr)
+	}
+	if end := len(l.stmts); end > start {
+		b.Stmts = l.stmts[start:end:end]
 	}
 	return b, nil
 }

@@ -19,11 +19,13 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"fits/internal/binimg"
 	"fits/internal/cfg"
 	"fits/internal/firmware"
 	"fits/internal/know"
+	"fits/internal/modelcache"
 	"fits/internal/pool"
 	"fits/internal/ucse"
 )
@@ -47,6 +49,12 @@ type Target struct {
 	// Anchors maps anchor function names exported by the dependency
 	// libraries to their arity.
 	Anchors map[string]int
+	// Hash is the content hash of the target binary's bytes and LibHashes
+	// the hashes of its resolved libraries, keyed by library name. Both are
+	// populated only when loading ran with a cache; downstream stages use
+	// them to address derived artifacts (feature vectors) by content.
+	Hash      modelcache.Hash
+	LibHashes map[string]modelcache.Hash
 }
 
 // AnchorEntries returns (library name, export address) pairs for every
@@ -68,6 +76,11 @@ type Result struct {
 	Image   *firmware.Image
 	Scheme  firmware.Scheme
 	Targets []*Target
+	// Lifted counts whole-binary models built fresh during this load;
+	// Reused counts models served from the cache. Without a cache every
+	// model is lifted.
+	Lifted int
+	Reused int
 }
 
 // Options configures loading.
@@ -80,6 +93,11 @@ type Options struct {
 	// Parallelism bounds the goroutines building binary models;
 	// 0 means runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Cache memoizes decoded binaries and whole-binary models across loads,
+	// addressed by the SHA-256 of the binary's bytes plus the resolver
+	// configuration. Cached values are shared read-only; concurrent loads of
+	// the same content deduplicate the build. Nil disables caching.
+	Cache *modelcache.Cache
 }
 
 // executableDirs are filesystem locations treated as holding executables.
@@ -132,25 +150,47 @@ func LoadImageContext(ctx context.Context, img *firmware.Image, opts Options) (*
 
 func (res *Result) load(ctx context.Context, opts Options) error {
 	img := res.Image
-	// Decode every binary in the filesystem.
+	// Decode every binary in the filesystem. With a cache, decoding is
+	// memoized on the file's content hash: decoded binaries are immutable
+	// downstream, so one decode serves every image embedding the same file.
 	bins := map[string]*binimg.Binary{}
+	hashes := map[string]modelcache.Hash{}
 	for _, f := range img.Files {
 		if !binimg.IsBinary(f.Data) {
 			continue
 		}
-		b, err := binimg.Decode(f.Data)
-		if err != nil {
-			continue // corrupt binaries are skipped, as binwalk-style tools do
+		if opts.Cache == nil {
+			b, err := binimg.Decode(f.Data)
+			if err != nil {
+				continue // corrupt binaries are skipped, as binwalk-style tools do
+			}
+			bins[f.Path] = b
+			continue
 		}
-		bins[f.Path] = b
+		h := modelcache.HashBytes(f.Data)
+		data := f.Data
+		v, _, err := opts.Cache.GetOrCompute(modelcache.Key("bin", "", h), func() (any, int64, error) {
+			b, err := binimg.Decode(data)
+			if err != nil {
+				return nil, 0, err
+			}
+			return b, int64(len(data)), nil
+		})
+		if err != nil {
+			continue
+		}
+		bins[f.Path] = v.(*binimg.Binary)
+		hashes[f.Path] = h
 	}
 
 	// Index libraries by base name for dependency resolution.
 	libByName := map[string]*binimg.Binary{}
+	libHashByName := map[string]modelcache.Hash{}
 	for p, b := range bins {
 		base := path.Base(p)
 		if strings.HasSuffix(base, ".so") {
 			libByName[base] = b
+			libHashByName[base] = hashes[p]
 		}
 	}
 
@@ -194,29 +234,59 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 
 	// Build every model in one fan-out: targets first, then libraries. Each
 	// job writes only its own slot, so assembly below is order-independent.
+	// With a cache, each build is memoized on the binary's content hash plus
+	// the resolver configuration; the singleflight layer ensures one build
+	// per distinct binary even when loads race.
 	type job struct {
 		name string // diagnostic label: path for targets, file name for libs
 		bin  *binimg.Binary
+		hash modelcache.Hash
 	}
 	jobs := make([]job, 0, len(targetPaths)+len(libNames))
 	for _, p := range targetPaths {
-		jobs = append(jobs, job{name: p, bin: bins[p]})
+		jobs = append(jobs, job{name: p, bin: bins[p], hash: hashes[p]})
 	}
 	for _, name := range libNames {
-		jobs = append(jobs, job{name: name, bin: libByName[name]})
+		jobs = append(jobs, job{name: name, bin: libByName[name], hash: libHashByName[name]})
+	}
+	modelCfg := "ucse=1"
+	if opts.SkipResolver {
+		modelCfg = "ucse=0"
 	}
 	models := make([]*cfg.Model, len(jobs))
+	var reused atomic.Int64
 	err := pool.ForEach(ctx, opts.Parallelism, len(jobs), func(i int) error {
-		m, err := cfg.Build(jobs[i].bin, cfgOpts)
+		if opts.Cache == nil {
+			m, err := cfg.Build(jobs[i].bin, cfgOpts)
+			if err != nil {
+				return fmt.Errorf("loader: %s: %w", jobs[i].name, err)
+			}
+			models[i] = m
+			return nil
+		}
+		v, hit, err := opts.Cache.GetOrCompute(
+			modelcache.Key("model", modelCfg, jobs[i].hash),
+			func() (any, int64, error) {
+				m, err := cfg.Build(jobs[i].bin, cfgOpts)
+				if err != nil {
+					return nil, 0, err
+				}
+				return m, modelCost(jobs[i].bin), nil
+			})
 		if err != nil {
 			return fmt.Errorf("loader: %s: %w", jobs[i].name, err)
 		}
-		models[i] = m
+		if hit {
+			reused.Add(1)
+		}
+		models[i] = v.(*cfg.Model)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	res.Reused = int(reused.Load())
+	res.Lifted = len(jobs) - res.Reused
 
 	libModels := map[string]*cfg.Model{}
 	for i, name := range libNames {
@@ -231,6 +301,8 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 			Libs:      map[string]*binimg.Binary{},
 			LibModels: map[string]*cfg.Model{},
 			Anchors:   map[string]int{},
+			Hash:      hashes[p],
+			LibHashes: map[string]modelcache.Hash{},
 		}
 		for _, need := range b.Needed {
 			lib, ok := libByName[need]
@@ -239,6 +311,7 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 			}
 			t.Libs[need] = lib
 			t.LibModels[need] = libModels[need]
+			t.LibHashes[need] = libHashByName[need]
 			for _, e := range lib.Exports {
 				if arity, ok := know.Anchors[e.Name]; ok {
 					t.Anchors[e.Name] = arity
@@ -248,6 +321,14 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		res.Targets = append(res.Targets, t)
 	}
 	return nil
+}
+
+// modelCost estimates the resident size of a whole-binary model for the
+// cache's byte budget: models hold lifted IR and CFG metadata for the text
+// section, which in practice runs about an order of magnitude larger than
+// the section itself.
+func modelCost(b *binimg.Binary) int64 {
+	return 1024 + 10*int64(len(b.Text.Data))
 }
 
 // importsNetwork reports whether the binary imports any interface function.

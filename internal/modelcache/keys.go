@@ -1,0 +1,39 @@
+package modelcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// ConfigVersion is the analysis-config epoch baked into every key. Bump it
+// whenever a change anywhere in the modeling or feature-extraction pipeline
+// can alter results for the same input bytes (lifter semantics, CFG recovery,
+// BFV features, dataflow lattice); stale entries from the previous epoch then
+// simply stop being addressable and age out of the LRU.
+const ConfigVersion = 1
+
+// Hash is the content address of a byte string.
+type Hash = [sha256.Size]byte
+
+// HashBytes returns the SHA-256 content address of data.
+func HashBytes(data []byte) Hash { return sha256.Sum256(data) }
+
+// Key builds a cache key: kind and config identify what was computed and
+// under which knobs, the hashes identify every input the computation read.
+// The ConfigVersion is always included, so bumping it invalidates everything.
+func Key(kind, config string, hashes ...Hash) string {
+	var b strings.Builder
+	b.Grow(len(kind) + len(config) + 8 + len(hashes)*(2*sha256.Size+1))
+	b.WriteString(kind)
+	b.WriteString("|v")
+	b.WriteString(strconv.Itoa(ConfigVersion))
+	b.WriteString("|")
+	b.WriteString(config)
+	for _, h := range hashes {
+		b.WriteString("|")
+		b.WriteString(hex.EncodeToString(h[:]))
+	}
+	return b.String()
+}
