@@ -7,7 +7,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-smoke fuzz-smoke ci
+.PHONY: all build vet test race bench bench-smoke fuzz-smoke serve-smoke ci
 
 all: build
 
@@ -33,9 +33,15 @@ bench-smoke:
 		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 	@cat BENCH_pipeline.json
 
+# End-to-end smoke of the fitsd service: boot the daemon, submit a
+# generated firmware image twice via fitsctl, assert identical results, a
+# model-cache hit in /metrics, and a clean SIGTERM drain.
+serve-smoke:
+	GO=$(GO) sh ./scripts/serve_smoke.sh
+
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/binimg
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/binimg
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/loader
 
-ci: vet build test race fuzz-smoke bench-smoke
+ci: vet build test race fuzz-smoke bench-smoke serve-smoke

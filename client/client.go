@@ -1,0 +1,236 @@
+// Package client is the typed Go client of the fitsd analysis service. It
+// speaks the job API of fits/internal/server: submit firmware, poll or
+// wait for completion, fetch the byte-stable result JSON, cancel, and
+// scrape health and metrics. cmd/fitsctl and the serve-smoke CI gate are
+// built on it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"fits/internal/optbuild"
+	"fits/internal/server"
+)
+
+// ErrQueueFull is returned by Submit when the server applied backpressure
+// (HTTP 429); callers should back off and retry.
+var ErrQueueFull = errors.New("fitsd: job queue is full")
+
+// APIError is any other non-2xx response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fitsd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Client talks to one fitsd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the service at base (e.g.
+// "http://127.0.0.1:8417"). hc may be nil for http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Submit posts firmware bytes with the given options and returns the
+// accepted job. A full queue surfaces as ErrQueueFull.
+func (c *Client) Submit(ctx context.Context, firmware []byte, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	body, err := json.Marshal(server.SubmitRequest{Firmware: firmware, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return c.submit(ctx, body)
+}
+
+// SubmitPath asks the server to read the firmware from a path on *its*
+// filesystem — the cheap route for co-located callers.
+func (c *Client) SubmitPath(ctx context.Context, path string, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	body, err := json.Marshal(server.SubmitRequest{Path: path, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return c.submit(ctx, body)
+}
+
+func (c *Client) submit(ctx context.Context, body []byte) (*server.SubmitResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp server.SubmitResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches one job's status, result included once done.
+func (c *Client) Job(ctx context.Context, id string) (*server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st server.JobStatus
+	if err := c.do(req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every retained job, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.ListResponse
+	if err := c.do(req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Result fetches the raw result JSON of a done job, byte-for-byte as the
+// server stored it.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, asAPIError(resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+// Cancel aborts a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st server.JobStatus
+	if err := c.do(req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls a job every interval (default 100ms) until it is terminal or
+// ctx expires, and returns the final status.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*server.JobStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if server.TerminalState(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health reads /healthz; a draining server returns its status with a nil
+// error only when the HTTP exchange itself succeeded.
+func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h server.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics scrapes /metrics and returns the Prometheus text body.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", asAPIError(resp.StatusCode, b)
+	}
+	return string(b), nil
+}
+
+// do executes a request expecting a 2xx JSON body decoded into out.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return asAPIError(resp.StatusCode, b)
+	}
+	return json.Unmarshal(b, out)
+}
+
+func asAPIError(code int, body []byte) error {
+	if code == http.StatusTooManyRequests {
+		return ErrQueueFull
+	}
+	var e server.ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &APIError{StatusCode: code, Message: e.Error}
+	}
+	return &APIError{StatusCode: code, Message: strings.TrimSpace(string(body))}
+}

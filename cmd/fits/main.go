@@ -7,6 +7,9 @@
 //	fits -top 5 firmware.fw
 //	fits -j 8 -timeout 30s firmware.fw  # 8 workers, abort after 30s
 //	fits -unpack firmware.fw            # list the filesystem only
+//
+// Option plumbing is shared with cmd/fwscan and fitsd via
+// internal/optbuild.
 package main
 
 import (
@@ -18,17 +21,17 @@ import (
 
 	"fits"
 	"fits/internal/firmware"
+	"fits/internal/optbuild"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fits: ")
-	top := flag.Int("top", 3, "how many ranked candidates to print per binary")
+	var spec optbuild.Spec
+	spec.BindAnalyzeFlags(flag.CommandLine)
+	var cacheCfg optbuild.CacheConfig
+	cacheCfg.BindFlags(flag.CommandLine)
 	unpackOnly := flag.Bool("unpack", false, "only unpack and list the filesystem")
-	jobs := flag.Int("j", 0, "worker goroutines for the analysis pipeline (0 = all CPUs)")
-	timeout := flag.Duration("timeout", 0, "abort analysis after this duration (0 = no limit)")
-	cacheSize := flag.Int64("cache-size", 0, "model cache byte budget (0 = default 1 GiB)")
-	noCache := flag.Bool("no-cache", false, "disable the content-addressed model cache")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: fits [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-unpack] firmware.fw")
@@ -50,25 +53,20 @@ func main() {
 		return
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	aopts, err := spec.AnalyzeOptions(cacheCfg.New())
+	if err != nil {
+		log.Fatal(err)
 	}
-	opts := fits.DefaultOptions()
-	opts.Parallelism = *jobs
-	if !*noCache {
-		opts.Cache = fits.NewCache(0, *cacheSize)
-	}
-	res, err := fits.AnalyzeContext(ctx, raw, opts)
+	ctx, cancel := spec.Context(context.Background())
+	defer cancel()
+	res, err := fits.AnalyzeContext(ctx, raw, aopts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s %s %s — analyzed in %s\n", res.Vendor, res.Product, res.Version, res.Elapsed.Round(1e6))
 	for _, t := range res.Targets {
 		fmt.Printf("\n%s (%s): %d custom functions\n", t.Path, t.Binary, t.NumFuncs)
-		for i, c := range t.TopCandidates(*top) {
+		for i, c := range t.TopCandidates(spec.TopK) {
 			fmt.Printf("  %d. %#x  score %.4f\n", i+1, c.Entry, c.Score)
 		}
 	}

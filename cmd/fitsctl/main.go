@@ -1,0 +1,214 @@
+// Command fitsctl submits firmware to a running fitsd service and manages
+// its jobs — the CLI face of the client package.
+//
+// Usage:
+//
+//	fitsctl [-addr URL] submit [-wait] [-engine E] [-its] [-top N] [-scan] [-out F] firmware.fw
+//	fitsctl [-addr URL] status <job-id>
+//	fitsctl [-addr URL] result <job-id>
+//	fitsctl [-addr URL] list
+//	fitsctl [-addr URL] cancel <job-id>
+//	fitsctl [-addr URL] health | metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fits/client"
+	"fits/internal/optbuild"
+	"fits/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fitsctl: ")
+	addr := flag.String("addr", "http://127.0.0.1:8417", "base URL of the fitsd service")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	c := client.New(*addr, nil)
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = runSubmit(ctx, c, args)
+	case "status":
+		err = runStatus(ctx, c, args)
+	case "result":
+		err = runResult(ctx, c, args)
+	case "list":
+		err = runList(ctx, c)
+	case "cancel":
+		err = runCancel(ctx, c, args)
+	case "health":
+		err = runHealth(ctx, c)
+	case "metrics":
+		err = runMetrics(ctx, c)
+	default:
+		log.Printf("unknown command %q", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fitsctl [-addr URL] <command> [args]
+
+commands:
+  submit [-wait] [-engine E] [-its] [-scan] [-top N] [-j N] [-timeout D] [-by-path] [-out FILE] firmware.fw
+  status <job-id>      print one job's status JSON
+  result <job-id>      print a done job's result JSON
+  list                 list retained jobs
+  cancel <job-id>      cancel a queued or running job
+  health               print service health
+  metrics              print the Prometheus metrics text`)
+}
+
+func runSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var spec optbuild.Spec
+	spec.BindAnalyzeFlags(fs)
+	spec.BindScanFlags(fs)
+	scan := fs.Bool("scan", false, "run a taint scan after inference")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its result")
+	byPath := fs.Bool("by-path", false, "send the file path instead of the bytes (server-local file)")
+	out := fs.String("out", "", "with -wait: write the result JSON to this file")
+	poll := fs.Duration("poll", 100*time.Millisecond, "with -wait: status poll interval")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit: want exactly one firmware file, got %d args", fs.NArg())
+	}
+	spec.Scan = *scan
+	var (
+		resp *server.SubmitResponse
+		err  error
+	)
+	if *byPath {
+		resp, err = c.SubmitPath(ctx, fs.Arg(0), spec)
+	} else {
+		raw, rerr := os.ReadFile(fs.Arg(0))
+		if rerr != nil {
+			return rerr
+		}
+		resp, err = c.Submit(ctx, raw, spec)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s %s\n", resp.ID, resp.State)
+	if !*wait {
+		return nil
+	}
+	st, err := c.Wait(ctx, resp.ID, *poll)
+	if err != nil {
+		return err
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	elapsed := time.Duration(st.ElapsedMS) * time.Millisecond
+	cacheNote := ""
+	if st.Cache != nil {
+		cacheNote = fmt.Sprintf(", models lifted %d / reused %d", st.Cache.Lifted, st.Cache.Reused)
+	}
+	fmt.Printf("job %s done in %s%s\n", st.ID, elapsed, cacheNote)
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		return os.WriteFile(*out, res, 0o644)
+	}
+	fmt.Println(string(res))
+	return nil
+}
+
+func runStatus(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status: want one job id")
+	}
+	st, err := c.Job(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func runResult(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("result: want one job id")
+	}
+	b, err := c.Result(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func runList(ctx context.Context, c *client.Client) error {
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		elapsed := ""
+		if j.ElapsedMS > 0 {
+			elapsed = (time.Duration(j.ElapsedMS) * time.Millisecond).String()
+		}
+		fmt.Printf("%-10s %-9s %8d bytes  %-8s %s\n",
+			j.ID, j.State, j.SizeBytes, elapsed, j.SubmittedAt.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func runCancel(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel: want one job id")
+	}
+	st, err := c.Cancel(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s %s\n", st.ID, st.State)
+	return nil
+}
+
+func runHealth(ctx context.Context, c *client.Client) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(h)
+}
+
+func runMetrics(ctx context.Context, c *client.Client) error {
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(m)
+	return nil
+}
+
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}

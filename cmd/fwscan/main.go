@@ -7,6 +7,10 @@
 //	fwscan -its firmware.fw                # infer ITSs first, then seed top-3
 //	fwscan -engine symbolic -its firmware.fw
 //	fwscan -j 8 -timeout 1m firmware.fw    # 8 workers, abort after a minute
+//
+// All option plumbing is shared with cmd/fits and the fitsd service via
+// internal/optbuild, so a flag here and the matching JSON job option mean
+// exactly the same thing.
 package main
 
 import (
@@ -17,48 +21,33 @@ import (
 	"os"
 
 	"fits"
+	"fits/internal/optbuild"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fwscan: ")
-	useITS := flag.Bool("its", false, "infer intermediate taint sources and seed the top-3")
-	engineName := flag.String("engine", "static", `engine: "static" (STA) or "symbolic" (Karonte-style)`)
-	filter := flag.Bool("filter", true, "filter alerts keyed on system-data fields")
-	jobs := flag.Int("j", 0, "worker goroutines for the analysis pipeline (0 = all CPUs)")
-	timeout := flag.Duration("timeout", 0, "abort analysis after this duration (0 = no limit)")
-	cacheSize := flag.Int64("cache-size", 0, "model cache byte budget (0 = default 1 GiB)")
-	noCache := flag.Bool("no-cache", false, "disable the content-addressed model cache")
+	var spec optbuild.Spec
+	spec.BindAnalyzeFlags(flag.CommandLine)
+	spec.BindScanFlags(flag.CommandLine)
+	var cacheCfg optbuild.CacheConfig
+	cacheCfg.BindFlags(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print model-cache diagnostics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-v] firmware.fw")
+		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-v] firmware.fw")
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	var engine fits.Engine
-	switch *engineName {
-	case "static":
-		engine = fits.EngineStatic
-	case "symbolic":
-		engine = fits.EngineSymbolic
-	default:
-		log.Fatalf("unknown engine %q", *engineName)
+	aopts, err := spec.AnalyzeOptions(cacheCfg.New())
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	aopts := fits.DefaultOptions()
-	aopts.Parallelism = *jobs
-	if !*noCache {
-		aopts.Cache = fits.NewCache(0, *cacheSize)
-	}
+	ctx, cancel := spec.Context(context.Background())
+	defer cancel()
 	res, err := fits.AnalyzeContext(ctx, raw, aopts)
 	if err != nil {
 		log.Fatal(err)
@@ -71,16 +60,11 @@ func main() {
 	}
 	total := 0
 	for _, t := range res.Targets {
-		if err := ctx.Err(); err != nil {
+		opts, err := spec.ScanOptions(t)
+		if err != nil {
 			log.Fatal(err)
 		}
-		opts := fits.ScanOptions{Engine: engine, StringFilter: *filter}
-		if *useITS {
-			for _, c := range t.TopCandidates(3) {
-				opts.ITS = append(opts.ITS, c.Entry)
-			}
-		}
-		alerts, err := t.Scan(opts)
+		alerts, err := t.ScanContext(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -227,8 +227,21 @@ type ScanOptions struct {
 
 // Scan runs taint analysis over one analyzed target.
 func (t *TargetResult) Scan(opts ScanOptions) ([]Alert, error) {
+	return t.ScanContext(context.Background(), opts)
+}
+
+// ScanContext is Scan with cancellation. Both engines are internally
+// budgeted, so a single run is bounded; the context is checked before the
+// engine starts and again before alerts are materialized, which is the
+// granularity long-running services (fitsd) cancel at. Alerts are returned
+// in a fully deterministic order (site, function, sink, kind, source), so
+// repeated scans of one target are byte-identical.
+func (t *TargetResult) ScanContext(ctx context.Context, opts ScanOptions) ([]Alert, error) {
 	if t.target == nil {
 		return nil, fmt.Errorf("fits: target was not produced by Analyze")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	var raw []taint.Alert
 	switch opts.Engine {
@@ -243,6 +256,9 @@ func (t *TargetResult) Scan(opts ScanOptions) ([]Alert, error) {
 			StringFilter: opts.StringFilter,
 		})
 		raw = e.Run()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	out := make([]Alert, 0, len(raw))
 	for _, a := range raw {

@@ -9,7 +9,6 @@
 package karonte
 
 import (
-	"sort"
 
 	"fits/internal/binimg"
 	"fits/internal/cfg"
@@ -117,7 +116,7 @@ func (e *Engine) Run() []taint.Alert {
 	for _, a := range e.alerts {
 		out = append(out, *a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	taint.SortAlerts(out)
 	return out
 }
 

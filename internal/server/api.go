@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"fits"
+	"fits/internal/optbuild"
+)
+
+// api.go defines the wire types of the fitsd job API, shared verbatim by
+// the server handlers and the typed client package. All result JSON is
+// deliberately byte-stable: field order is fixed by the struct layout,
+// candidate and alert orders carry explicit deterministic sort keys, and
+// timing/cache diagnostics live on the job envelope — never inside the
+// result — so resubmitting identical firmware yields identical result
+// bytes.
+
+// Job states, as reported in JobStatus.State.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// TerminalState reports whether a job in this state will never run again.
+func TerminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// SubmitRequest is the JSON body of POST /v1/jobs. Exactly one of Firmware
+// (base64 image bytes) and Path (a file readable by the server process)
+// must be set. A raw application/octet-stream body is the shorthand for
+// {"firmware": <body>} with default options.
+type SubmitRequest struct {
+	Firmware []byte        `json:"firmware,omitempty"`
+	Path     string        `json:"path,omitempty"`
+	Options  optbuild.Spec `json:"options"`
+}
+
+// SubmitResponse is the 202 body of POST /v1/jobs.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Location is the relative URL polled for status.
+	Location string `json:"location"`
+	State    string `json:"state"`
+}
+
+// CacheDelta reports model reuse for one job: models lifted fresh vs.
+// served from the process-wide cache.
+type CacheDelta struct {
+	Lifted int `json:"lifted"`
+	Reused int `json:"reused"`
+}
+
+// JobStatus is one job as reported by GET /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID          string        `json:"id"`
+	State       string        `json:"state"`
+	SHA256      string        `json:"sha256"`
+	SizeBytes   int           `json:"size_bytes"`
+	Options     optbuild.Spec `json:"options"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	// ElapsedMS is the run duration (started→finished); diagnostic, like
+	// Cache, and therefore not part of Result.
+	ElapsedMS int64       `json:"elapsed_ms,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Cache     *CacheDelta `json:"cache,omitempty"`
+	// Result is the analysis result JSON, present once State is "done"
+	// (also served raw by GET /v1/jobs/{id}/result).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ListResponse is the body of GET /v1/jobs.
+type ListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz (503 while draining).
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// JobResult is the stable analysis result of one firmware image.
+type JobResult struct {
+	Vendor  string         `json:"vendor"`
+	Product string         `json:"product"`
+	Version string         `json:"version"`
+	Targets []TargetReport `json:"targets"`
+}
+
+// TargetReport is the per-network-binary slice of a JobResult.
+type TargetReport struct {
+	Path       string            `json:"path"`
+	Binary     string            `json:"binary"`
+	NumFuncs   int               `json:"num_funcs"`
+	Candidates []CandidateReport `json:"candidates"`
+	// Alerts is present only when the job requested a taint scan.
+	Alerts []AlertReport `json:"alerts,omitempty"`
+}
+
+// CandidateReport is one ranked ITS candidate.
+type CandidateReport struct {
+	Entry uint32  `json:"entry"`
+	Score float64 `json:"score"`
+}
+
+// AlertReport is one taint alert.
+type AlertReport struct {
+	Site   uint32 `json:"site"`
+	Func   uint32 `json:"func"`
+	Sink   string `json:"sink"`
+	Kind   string `json:"kind"`
+	Source string `json:"source"`
+}
+
+// RunOutput is what a Runner hands back for a completed job.
+type RunOutput struct {
+	// ResultJSON is the marshaled JobResult; it is stored and served
+	// verbatim, so equal inputs must produce equal bytes.
+	ResultJSON []byte
+	Cache      CacheDelta
+}
+
+// Runner executes one job. The default is DefaultRunner; tests substitute
+// stub pipelines to exercise queueing, cancellation and drain without
+// firmware fixtures.
+type Runner func(ctx context.Context, raw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error)
+
+// DefaultRunner runs the full fits pipeline: inference over every network
+// binary, optionally followed by a taint scan, reported as a JobResult.
+func DefaultRunner(ctx context.Context, raw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error) {
+	aopts, err := spec.AnalyzeOptions(cache)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fits.AnalyzeContext(ctx, raw, aopts)
+	if err != nil {
+		return nil, err
+	}
+	jr := JobResult{
+		Vendor:  res.Vendor,
+		Product: res.Product,
+		Version: res.Version,
+		Targets: make([]TargetReport, 0, len(res.Targets)),
+	}
+	for _, t := range res.Targets {
+		tr := TargetReport{Path: t.Path, Binary: t.Binary, NumFuncs: t.NumFuncs}
+		for _, c := range t.TopCandidates(spec.TopK) {
+			tr.Candidates = append(tr.Candidates, CandidateReport{Entry: c.Entry, Score: c.Score})
+		}
+		if tr.Candidates == nil {
+			tr.Candidates = []CandidateReport{}
+		}
+		if spec.Scan {
+			sopts, err := spec.ScanOptions(t)
+			if err != nil {
+				return nil, err
+			}
+			alerts, err := t.ScanContext(ctx, sopts)
+			if err != nil {
+				return nil, err
+			}
+			tr.Alerts = make([]AlertReport, 0, len(alerts))
+			for _, a := range alerts {
+				tr.Alerts = append(tr.Alerts, AlertReport{
+					Site: a.Site, Func: a.Func, Sink: a.Sink,
+					Kind: a.Kind, Source: a.Source,
+				})
+			}
+		}
+		jr.Targets = append(jr.Targets, tr)
+	}
+	b, err := json.Marshal(jr)
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutput{
+		ResultJSON: b,
+		Cache:      CacheDelta{Lifted: res.Cache.Lifted, Reused: res.Cache.Reused},
+	}, nil
+}

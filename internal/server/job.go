@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"fits/internal/optbuild"
+)
+
+// Job is the server-side record of one submission. It moves
+// queued → running → {done, failed, canceled}; queued jobs may jump
+// straight to canceled. All mutable fields are guarded by mu; handlers
+// only ever see Snapshot copies.
+type Job struct {
+	id   string
+	seq  uint64
+	sha  string
+	size int
+	spec optbuild.Spec
+
+	mu        sync.Mutex
+	state     string
+	raw       []byte // firmware bytes; dropped once the job is terminal
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    []byte
+	cache     CacheDelta
+	// cancelRequested distinguishes a DELETE-initiated abort from a
+	// timeout or server drain when classifying the runner's error.
+	cancelRequested bool
+	drained         bool
+	cancel          context.CancelFunc // non-nil while running
+}
+
+// start transitions queued → running and derives the job context: the
+// server base context, capped by the server job timeout and the job's own
+// requested timeout. It returns false (and no context) when the job was
+// canceled while queued.
+func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.Time) (context.Context, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return nil, false
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if serverTimeout > 0 {
+		ctx, cancel = context.WithTimeout(base, serverTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	if d := time.Duration(j.spec.Timeout); d > 0 {
+		inner, innerCancel := context.WithTimeout(ctx, d)
+		outerCancel := cancel
+		ctx, cancel = inner, func() { innerCancel(); outerCancel() }
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	return ctx, true
+}
+
+// finish records the runner outcome and classifies the terminal state.
+func (j *Job) finish(out *RunOutput, err error, now time.Time) string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+	j.raw = nil
+	j.finished = now
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = out.ResultJSON
+		j.cache = out.Cache
+	case j.cancelRequested || j.drained || errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.err = "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.err = "job timeout exceeded"
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	return j.state
+}
+
+// requestCancel implements DELETE: a queued job is canceled on the spot
+// (the worker later skips it); a running one has its context canceled and
+// is classified when the runner returns. The first return reports whether
+// the job transitioned to canceled *now*; the second whether the request
+// did anything at all.
+func (j *Job) requestCancel(now time.Time) (terminalNow, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled"
+		j.cancelRequested = true
+		j.finished = now
+		j.raw = nil
+		return true, true
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// markDrained tags a running job as aborted by server drain before its
+// context is hard-canceled, so finish classifies it as canceled rather
+// than failed.
+func (j *Job) markDrained() {
+	j.mu.Lock()
+	j.drained = true
+	j.mu.Unlock()
+}
+
+// Snapshot renders the job as its wire representation. Result bytes are
+// shared, not copied; they are write-once.
+func (j *Job) Snapshot(includeResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		SHA256:      j.sha,
+		SizeBytes:   j.size,
+		Options:     j.spec,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+		if !j.started.IsZero() {
+			s.ElapsedMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	s.Error = j.err
+	if j.state == StateDone {
+		d := j.cache
+		s.Cache = &d
+		if includeResult {
+			s.Result = j.result
+		}
+	}
+	return s
+}
+
+// resultBytes returns the stored result JSON, or nil if the job is not
+// done.
+func (j *Job) resultBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.result
+}
+
+// currentState reads the state under the lock.
+func (j *Job) currentState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

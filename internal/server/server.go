@@ -1,0 +1,516 @@
+// Package server implements fitsd, the long-running analysis service: a
+// job-oriented HTTP API over the fits pipeline with a bounded FIFO queue,
+// a worker pool sharing one process-wide model cache, an LRU+TTL result
+// store, Prometheus-text metrics, and graceful drain.
+//
+// The lifecycle of a submission:
+//
+//	POST /v1/jobs ── queue (bounded; full ⇒ 429 + Retry-After) ── worker
+//	  ⇒ running (per-job context: base ∧ server timeout ∧ job timeout)
+//	  ⇒ done | failed | canceled ── result store (LRU + TTL)
+//
+// Backpressure is explicit: the queue never blocks a request and never
+// grows past its depth, so memory is bounded by depth × image size and
+// callers see 429 instead of the server seeing OOM. Shutdown stops intake,
+// cancels jobs still queued, lets in-flight jobs finish until the caller's
+// deadline, then hard-cancels their contexts and waits for the workers.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fits"
+	"fits/internal/optbuild"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultWorkers        = 2
+	DefaultQueueDepth     = 64
+	DefaultStoreCap       = 1024
+	DefaultStoreTTL       = time.Hour
+	DefaultMaxUploadBytes = 256 << 20
+)
+
+// Config parameterizes a Server. The zero value is usable.
+type Config struct {
+	// Workers is the number of jobs run concurrently (default 2). Each job
+	// additionally fans out internally per its Parallelism option, so the
+	// product of the two is the upper bound on busy goroutines.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default 64);
+	// submissions beyond it are rejected with 429.
+	QueueDepth int
+	// JobTimeout caps any single job's run time (0 = unlimited). A job's
+	// own requested timeout can only shorten it further.
+	JobTimeout time.Duration
+	// StoreCap bounds retained finished jobs (default 1024, LRU-evicted);
+	// StoreTTL expires them by age (default 1h, 0 = never).
+	StoreCap int
+	StoreTTL time.Duration
+	// MaxUploadBytes bounds a request body (default 256 MiB).
+	MaxUploadBytes int64
+	// Cache is the process-wide model cache shared by all workers; nil
+	// disables model reuse across jobs.
+	Cache *fits.Cache
+	// Runner replaces the analysis pipeline (default DefaultRunner);
+	// tests inject stubs to exercise queueing and drain.
+	Runner Runner
+	// Logf receives one line per job transition; nil silences logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.StoreCap <= 0 {
+		c.StoreCap = DefaultStoreCap
+	}
+	if c.StoreTTL == 0 {
+		c.StoreTTL = DefaultStoreTTL
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if c.Runner == nil {
+		c.Runner = DefaultRunner
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the fitsd HTTP service. Create with New, serve it as an
+// http.Handler, stop it with Shutdown.
+type Server struct {
+	cfg   Config
+	store *store
+	queue chan *Job
+	mux   *http.ServeMux
+	reg   *Registry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workerWG   sync.WaitGroup
+	janitorWG  sync.WaitGroup
+	stop       chan struct{}
+
+	qmu      sync.Mutex // guards queue send vs. close and the draining flag
+	draining bool
+
+	seq     atomic.Uint64
+	running sync.Map // job id -> *Job, jobs currently in a worker
+
+	mAccepted  *Counter
+	mRejected  *Counter
+	mCompleted *Counter
+	mFailed    *Counter
+	mCanceled  *Counter
+	gRunning   *Gauge
+	hDuration  *Histogram
+
+	now func() time.Time
+}
+
+// New builds a server and starts its workers and store janitor.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		reg:  NewRegistry(),
+		stop: make(chan struct{}),
+		now:  time.Now,
+	}
+	s.store = newStore(cfg.StoreCap, cfg.StoreTTL, func() time.Time { return s.now() })
+	s.queue = make(chan *Job, cfg.QueueDepth)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	s.mAccepted = s.reg.Counter("fitsd_jobs_accepted_total", "Jobs accepted into the queue.")
+	s.mRejected = s.reg.Counter("fitsd_jobs_rejected_total", "Submissions rejected with 429 because the queue was full.")
+	s.mCompleted = s.reg.Counter("fitsd_jobs_completed_total", "Jobs that finished successfully.")
+	s.mFailed = s.reg.Counter("fitsd_jobs_failed_total", "Jobs that ended in an error (including timeouts).")
+	s.mCanceled = s.reg.Counter("fitsd_jobs_canceled_total", "Jobs canceled by DELETE or server drain.")
+	s.gRunning = s.reg.Gauge("fitsd_jobs_running", "Jobs currently executing in a worker.")
+	s.reg.GaugeFunc("fitsd_queue_depth", "Jobs accepted but not yet picked up by a worker.",
+		func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("fitsd_store_jobs", "Jobs currently retained (queued, running and finished).",
+		func() float64 { n, _, _ := s.store.counts(); return float64(n) })
+	s.reg.CounterFunc("fitsd_store_evicted_total", "Finished jobs dropped by LRU capacity or TTL expiry.",
+		func() float64 { _, _, ev := s.store.counts(); return float64(ev) })
+	s.hDuration = s.reg.Histogram("fitsd_job_duration_seconds", "Run duration of finished jobs.",
+		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
+	if c := cfg.Cache; c != nil {
+		s.reg.CounterFunc("fitsd_model_cache_hits_total", "Model cache hits.",
+			func() float64 { return float64(c.Stats().Hits) })
+		s.reg.CounterFunc("fitsd_model_cache_misses_total", "Model cache misses.",
+			func() float64 { return float64(c.Stats().Misses) })
+		s.reg.CounterFunc("fitsd_model_cache_evictions_total", "Model cache evictions.",
+			func() float64 { return float64(c.Stats().Evictions) })
+		s.reg.GaugeFunc("fitsd_model_cache_bytes", "Approximate bytes of cached models.",
+			func() float64 { return float64(c.Stats().Bytes) })
+		s.reg.GaugeFunc("fitsd_model_cache_hit_ratio", "Hits / (hits+misses) over the cache lifetime.",
+			func() float64 { return c.Stats().HitRate() })
+	}
+
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.janitorWG.Add(1)
+	go s.janitor()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry exposes the metrics registry (for embedding fitsd metrics into
+// a larger process).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// errQueueFull and errDraining classify enqueue refusals.
+var (
+	errQueueFull = errors.New("queue full")
+	errDraining  = errors.New("server draining")
+)
+
+func (s *Server) enqueue(j *Job) error {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// worker drains the queue until it is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	ctx, ok := j.start(s.baseCtx, s.cfg.JobTimeout, s.now())
+	if !ok {
+		// Canceled while queued; already terminal and counted.
+		return
+	}
+	s.running.Store(j.id, j)
+	s.gRunning.Add(1)
+	s.cfg.Logf("job %s: running (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
+	out, err := s.cfg.Runner(ctx, j.raw, j.spec, s.cfg.Cache)
+	state := j.finish(out, err, s.now())
+	s.gRunning.Add(-1)
+	s.running.Delete(j.id)
+	s.hDuration.Observe(j.finished.Sub(j.started).Seconds())
+	switch state {
+	case StateDone:
+		s.mCompleted.Inc()
+	case StateCanceled:
+		s.mCanceled.Inc()
+	default:
+		s.mFailed.Inc()
+	}
+	s.cfg.Logf("job %s: %s after %s", j.id, state, j.finished.Sub(j.started).Round(time.Millisecond))
+	s.store.markTerminal(j)
+}
+
+// janitor periodically sweeps expired results so memory is reclaimed even
+// when the API is idle.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	period := s.cfg.StoreTTL / 4
+	if period <= 0 || period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.store.sweep()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Shutdown drains the server: intake stops immediately (submissions get
+// 503, /healthz degrades), jobs still queued are canceled, and in-flight
+// jobs may finish until ctx expires — then their contexts are canceled and
+// Shutdown waits for the workers to acknowledge. It returns nil on a clean
+// drain and ctx.Err() when the deadline forced cancellation. Shutdown is
+// idempotent; concurrent calls both wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		// Cancel everything still queued, then close the channel so idle
+		// workers exit. Workers mid-job keep running.
+		for {
+			select {
+			case j := <-s.queue:
+				if terminal, _ := j.requestCancel(s.now()); terminal {
+					s.mCanceled.Inc()
+					s.store.markTerminal(j)
+				}
+				continue
+			default:
+			}
+			break
+		}
+		close(s.queue)
+		close(s.stop)
+	}
+	s.qmu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Deadline passed: mark in-flight jobs as drained (so they report
+		// canceled, not failed) and hard-cancel the shared base context.
+		s.running.Range(func(_, v any) bool {
+			v.(*Job).markDrained()
+			return true
+		})
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	s.janitorWG.Wait()
+	return err
+}
+
+// ---- handlers ----
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.qmu.Lock()
+	draining := s.draining
+	s.qmu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	raw, spec, err := s.readSubmission(r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("firmware exceeds the %d byte upload limit", mbe.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sum := sha256.Sum256(raw)
+	seq := s.seq.Add(1)
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", seq),
+		seq:       seq,
+		sha:       hex.EncodeToString(sum[:]),
+		size:      len(raw),
+		spec:      spec,
+		state:     StateQueued,
+		raw:       raw,
+		submitted: s.now(),
+	}
+	s.store.add(j)
+	if err := s.enqueue(j); err != nil {
+		s.store.remove(j.id)
+		if err == errDraining {
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue is full (depth %d); retry later", s.cfg.QueueDepth))
+		return
+	}
+	s.mAccepted.Inc()
+	s.cfg.Logf("job %s: queued (%d bytes)", j.id, j.size)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: j.id, Location: "/v1/jobs/" + j.id, State: StateQueued,
+	})
+}
+
+// readSubmission decodes the firmware bytes and options from either a JSON
+// envelope or a raw octet-stream body.
+func (s *Server) readSubmission(r *http.Request) ([]byte, optbuild.Spec, error) {
+	var spec optbuild.Spec
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes)
+	defer body.Close()
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var req SubmitRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, spec, fmt.Errorf("invalid job request: %w", err)
+		}
+		spec = req.Options
+		switch {
+		case len(req.Firmware) > 0 && req.Path != "":
+			return nil, spec, errors.New(`set exactly one of "firmware" and "path"`)
+		case len(req.Firmware) > 0:
+			return req.Firmware, spec, nil
+		case req.Path != "":
+			raw, err := os.ReadFile(req.Path)
+			if err != nil {
+				return nil, spec, fmt.Errorf("reading firmware path: %v", err)
+			}
+			if int64(len(raw)) > s.cfg.MaxUploadBytes {
+				return nil, spec, fmt.Errorf("firmware at %s exceeds the %d byte limit", req.Path, s.cfg.MaxUploadBytes)
+			}
+			return raw, spec, nil
+		default:
+			return nil, spec, errors.New(`set one of "firmware" (base64 bytes) and "path"`)
+		}
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, spec, err
+	}
+	if len(raw) == 0 {
+		return nil, spec, errors.New("empty firmware body")
+	}
+	return raw, spec, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.list()
+	resp := ListResponse{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		resp.Jobs = append(resp.Jobs, j.Snapshot(false))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job (it may have expired)")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot(true))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job (it may have expired)")
+		return
+	}
+	b := j.resultBytes()
+	if b == nil {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", j.currentState()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job (it may have expired)")
+		return
+	}
+	terminalNow, changed := j.requestCancel(s.now())
+	if terminalNow {
+		s.mCanceled.Inc()
+		s.store.markTerminal(j)
+	}
+	if !changed && !TerminalState(j.currentState()) {
+		writeErr(w, http.StatusConflict, "job cannot be canceled")
+		return
+	}
+	s.cfg.Logf("job %s: cancel requested", j.id)
+	writeJSON(w, http.StatusOK, j.Snapshot(false))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.qmu.Lock()
+	draining := s.draining
+	s.qmu.Unlock()
+	code := http.StatusOK
+	status := "ok"
+	if draining {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	writeJSON(w, code, HealthResponse{Status: status, Draining: draining})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.reg.WriteText(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,490 @@
+// End-to-end tests of the fitsd service: the full job lifecycle over
+// httptest through the typed client, 429 backpressure, cancellation,
+// graceful drain, and concurrent submissions sharing one model cache.
+// They live in an external test package so they can use fits/client
+// (which itself imports this package).
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fits"
+	"fits/client"
+	"fits/internal/optbuild"
+	"fits/internal/server"
+	"fits/internal/synth"
+)
+
+// sampleFirmware memoizes one synthetic firmware image for the pipeline
+// tests.
+var sampleFirmware = sync.OnceValue(func() []byte {
+	sample, err := synth.Generate(synth.Dataset()[0])
+	if err != nil {
+		panic(err)
+	}
+	return sample.Packed
+})
+
+// stubRunner is a controllable pipeline: it signals when a job starts and
+// blocks until released or canceled.
+type stubRunner struct {
+	started chan string
+	release chan struct{}
+}
+
+func newStubRunner() *stubRunner {
+	return &stubRunner{started: make(chan string, 64), release: make(chan struct{})}
+}
+
+func (r *stubRunner) run(ctx context.Context, raw []byte, spec optbuild.Spec, cache *fits.Cache) (*server.RunOutput, error) {
+	r.started <- string(raw)
+	select {
+	case <-r.release:
+		return &server.RunOutput{ResultJSON: []byte(`{"stub":true}`)}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (r *stubRunner) waitStarted(t *testing.T) {
+	t.Helper()
+	select {
+	case <-r.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no job started within 5s")
+	}
+}
+
+func newTestService(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return srv, client.New(ts.URL, ts.Client())
+}
+
+// TestJobLifecycle drives the real pipeline end to end twice and checks
+// the acceptance bar: identical result JSON on resubmission, with the
+// second run served from the shared model cache.
+func TestJobLifecycle(t *testing.T) {
+	cache := fits.NewCache(0, 0)
+	_, c := newTestService(t, server.Config{Workers: 2, Cache: cache})
+	ctx := context.Background()
+	fw := sampleFirmware()
+
+	spec := optbuild.Spec{Scan: true, SeedITS: true}
+	sub, err := c.Submit(ctx, fw, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.State != server.StateQueued || sub.ID == "" {
+		t.Fatalf("submit response: %+v", sub)
+	}
+	st, err := c.Wait(ctx, sub.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	res1, err := c.Result(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr server.JobResult
+	if err := json.Unmarshal(res1, &jr); err != nil {
+		t.Fatalf("result not valid JSON: %v", err)
+	}
+	if len(jr.Targets) == 0 {
+		t.Fatal("result has no targets")
+	}
+	for _, tr := range jr.Targets {
+		if len(tr.Candidates) == 0 {
+			t.Errorf("target %s has no candidates", tr.Path)
+		}
+	}
+
+	// Resubmit the identical image: byte-identical result, cache reuse.
+	sub2, err := c.Submit(ctx, fw, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Wait(ctx, sub2.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != server.StateDone {
+		t.Fatalf("second job ended %s: %s", st2.State, st2.Error)
+	}
+	res2, err := c.Result(ctx, sub2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res1, res2) {
+		t.Errorf("results diverged:\nfirst  %s\nsecond %s", res1, res2)
+	}
+	if st2.Cache == nil || st2.Cache.Reused == 0 {
+		t.Errorf("second run reused no models: %+v", st2.Cache)
+	}
+	if cache.Stats().Hits == 0 {
+		t.Error("shared cache recorded no hits")
+	}
+
+	// The job list shows both, oldest first.
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != sub.ID || jobs[1].ID != sub2.ID {
+		t.Errorf("job list: %+v", jobs)
+	}
+
+	// Metrics report the completions and the cache hits.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fitsd_jobs_completed_total 2",
+		"fitsd_jobs_accepted_total 2",
+		"fitsd_model_cache_hits_total",
+		"fitsd_job_duration_seconds_count 2",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestBackpressure fills the queue and expects 429 + Retry-After rather
+// than unbounded buffering.
+func TestBackpressure(t *testing.T) {
+	r := newStubRunner()
+	_, c := newTestService(t, server.Config{Workers: 1, QueueDepth: 1, Runner: r.run})
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, []byte("fw-1"), optbuild.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	r.waitStarted(t) // worker holds job 1; queue is empty
+	if _, err := c.Submit(ctx, []byte("fw-2"), optbuild.Spec{}); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	_, err := c.Submit(ctx, []byte("fw-3"), optbuild.Spec{})
+	if !errors.Is(err, client.ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+
+	// The raw response carries Retry-After for generic HTTP clients.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "fitsd_jobs_rejected_total 1") {
+		t.Error("rejected counter not incremented")
+	}
+	close(r.release)
+}
+
+func TestBackpressureRetryAfterHeader(t *testing.T) {
+	r := newStubRunner()
+	srv := server.New(server.Config{Workers: 1, QueueDepth: 1, Runner: r.run})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		close(r.release)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	post := func() *http.Response {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/octet-stream",
+			strings.NewReader("firmware-bytes"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	post()
+	r.waitStarted(t)
+	post()
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+}
+
+// TestCancelQueued cancels a job the worker has not picked up yet.
+func TestCancelQueued(t *testing.T) {
+	r := newStubRunner()
+	_, c := newTestService(t, server.Config{Workers: 1, QueueDepth: 4, Runner: r.run})
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, []byte("fw-run"), optbuild.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	r.waitStarted(t)
+	sub, err := c.Submit(ctx, []byte("fw-queued"), optbuild.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Cancel(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateCanceled {
+		t.Errorf("state after cancel = %s", st.State)
+	}
+	// Result of a canceled job is a conflict.
+	if _, err := c.Result(ctx, sub.ID); err == nil {
+		t.Error("result of canceled job did not error")
+	}
+	close(r.release)
+}
+
+// TestCancelRunning cancels mid-flight via context propagation.
+func TestCancelRunning(t *testing.T) {
+	r := newStubRunner()
+	_, c := newTestService(t, server.Config{Workers: 1, Runner: r.run})
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, []byte("fw"), optbuild.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.waitStarted(t)
+	if _, err := c.Cancel(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, sub.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateCanceled {
+		t.Errorf("state = %s, want canceled", st.State)
+	}
+	m, _ := c.Metrics(ctx)
+	if !strings.Contains(m, "fitsd_jobs_canceled_total 1") {
+		t.Error("canceled counter not incremented")
+	}
+}
+
+// TestJobTimeout lets the server's per-job limit expire a stuck job.
+func TestJobTimeout(t *testing.T) {
+	r := newStubRunner()
+	_, c := newTestService(t, server.Config{
+		Workers: 1, JobTimeout: 30 * time.Millisecond, Runner: r.run,
+	})
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, []byte("fw"), optbuild.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, sub.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateFailed || !strings.Contains(st.Error, "timeout") {
+		t.Errorf("state = %s (%q), want failed with timeout", st.State, st.Error)
+	}
+}
+
+// TestGracefulDrain submits one running and one queued job, shuts down,
+// and expects: the in-flight job finishes, the queued one is canceled, and
+// new submissions get 503.
+func TestGracefulDrain(t *testing.T) {
+	r := newStubRunner()
+	srv := server.New(server.Config{Workers: 1, QueueDepth: 4, Runner: r.run})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, []byte("fw-running"), optbuild.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.waitStarted(t)
+	queued, err := c.Submit(ctx, []byte("fw-queued"), optbuild.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- srv.Shutdown(sctx)
+	}()
+
+	// Intake must refuse while draining; let it flip first.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Submit(ctx, []byte("fw-late"), optbuild.Spec{}); err == nil {
+		t.Error("submission accepted while draining")
+	}
+
+	// Release the in-flight job: the drain completes cleanly.
+	close(r.release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain returned %v", err)
+	}
+	if st, err := c.Job(ctx, running.ID); err != nil || st.State != server.StateDone {
+		t.Errorf("in-flight job: %+v, %v (want done)", st, err)
+	}
+	if st, err := c.Job(ctx, queued.ID); err != nil || st.State != server.StateCanceled {
+		t.Errorf("queued job: %+v, %v (want canceled)", st, err)
+	}
+}
+
+// TestDrainDeadlineCancelsInFlight never releases the runner: the drain
+// deadline must hard-cancel the job and still return.
+func TestDrainDeadlineCancelsInFlight(t *testing.T) {
+	r := newStubRunner()
+	srv := server.New(server.Config{Workers: 1, Runner: r.run})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, []byte("fw-stuck"), optbuild.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.waitStarted(t)
+	sctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(sctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	if st, err := c.Job(ctx, sub.ID); err != nil || st.State != server.StateCanceled {
+		t.Errorf("stuck job: %+v, %v (want canceled)", st, err)
+	}
+}
+
+// TestConcurrentSubmitsSharedCache hammers the real pipeline from many
+// goroutines against one cache; under -race this is the data-race gate,
+// and every result must be byte-identical.
+func TestConcurrentSubmitsSharedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline; skipped in -short")
+	}
+	cache := fits.NewCache(0, 0)
+	_, c := newTestService(t, server.Config{Workers: 4, QueueDepth: 32, Cache: cache})
+	ctx := context.Background()
+	fw := sampleFirmware()
+
+	const n = 6
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub, err := c.Submit(ctx, fw, optbuild.Spec{SeedITS: true, Scan: true})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = sub.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	var first []byte
+	for i, id := range ids {
+		st, err := c.Wait(ctx, id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != server.StateDone {
+			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+		res, err := c.Result(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+		} else if !bytes.Equal(first, res) {
+			t.Errorf("job %s result diverged from job %s", id, ids[0])
+		}
+	}
+}
+
+// TestBadRequests covers the 4xx surface.
+func TestBadRequests(t *testing.T) {
+	r := newStubRunner()
+	close(r.release)
+	srv := server.New(server.Config{Workers: 1, Runner: r.run, MaxUploadBytes: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	c := client.New(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// Unknown engine name.
+	_, err := c.Submit(ctx, []byte("fw"), optbuild.Spec{Engine: "quantum"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad engine: %v", err)
+	}
+	// Empty body.
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/octet-stream", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body: status %d", resp.StatusCode)
+	}
+	// Oversized upload.
+	_, err = c.Submit(ctx, bytes.Repeat([]byte("x"), 4096), optbuild.Spec{})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: %v", err)
+	}
+	// Unknown job.
+	if _, err := c.Job(ctx, "j999999"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %v", err)
+	}
+}

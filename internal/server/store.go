@@ -1,0 +1,156 @@
+package server
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+)
+
+// store indexes every job by ID and bounds the memory held by finished
+// ones. Queued and running jobs are pinned — they are never evicted, so a
+// submitted job can always be polled. Terminal jobs enter an LRU (touched
+// by GET) with a TTL measured from completion; eviction triggers when the
+// terminal population exceeds cap, and expiry is enforced lazily on every
+// store operation plus periodically by the server's janitor.
+type store struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	lru     *list.List // of *lruEntry; front = most recently touched
+	elem    map[string]*list.Element
+	cap     int
+	ttl     time.Duration // 0 = no expiry
+	now     func() time.Time
+	evicted uint64
+}
+
+type lruEntry struct {
+	job      *Job
+	expireAt time.Time // zero = never
+}
+
+func newStore(capacity int, ttl time.Duration, now func() time.Time) *store {
+	return &store{
+		jobs: map[string]*Job{},
+		lru:  list.New(),
+		elem: map[string]*list.Element{},
+		cap:  capacity,
+		ttl:  ttl,
+		now:  now,
+	}
+}
+
+// add registers a freshly submitted job.
+func (s *store) add(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+}
+
+// remove forgets a job that never made it into the queue.
+func (s *store) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	if e, ok := s.elem[id]; ok {
+		s.lru.Remove(e)
+		delete(s.elem, id)
+	}
+}
+
+// markTerminal moves a job into the evictable LRU population. It is
+// idempotent: a job canceled by DELETE and later re-reported by its worker
+// is inserted once.
+func (s *store) markTerminal(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.id]; !ok {
+		s.jobs[j.id] = j // defensive: terminal before add is a bug upstream
+	}
+	if _, ok := s.elem[j.id]; ok {
+		return
+	}
+	ent := &lruEntry{job: j}
+	if s.ttl > 0 {
+		ent.expireAt = s.now().Add(s.ttl)
+	}
+	s.elem[j.id] = s.lru.PushFront(ent)
+	s.sweepLocked()
+}
+
+// get returns the job and touches its LRU position. Expired jobs are
+// dropped and reported as absent.
+func (s *store) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	if e, ok := s.elem[id]; ok {
+		ent := e.Value.(*lruEntry)
+		if !ent.expireAt.IsZero() && !s.now().Before(ent.expireAt) {
+			s.dropLocked(e)
+			return nil, false
+		}
+		s.lru.MoveToFront(e)
+	}
+	return j, true
+}
+
+// list snapshots every live job sorted by submission order.
+func (s *store) list() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq < out[k].seq })
+	return out
+}
+
+// sweep drops every expired terminal job; the server janitor calls it on a
+// timer so memory is reclaimed even without traffic.
+func (s *store) sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+}
+
+// sweepLocked enforces TTL (from the LRU back, where the oldest live) and
+// then the terminal-population cap.
+func (s *store) sweepLocked() {
+	if s.ttl > 0 {
+		now := s.now()
+		for e := s.lru.Back(); e != nil; {
+			prev := e.Prev()
+			ent := e.Value.(*lruEntry)
+			// The LRU is ordered by recency of touch, not expiry, so scan
+			// the whole list rather than stopping at the first survivor.
+			if !ent.expireAt.IsZero() && !now.Before(ent.expireAt) {
+				s.dropLocked(e)
+			}
+			e = prev
+		}
+	}
+	for s.cap > 0 && s.lru.Len() > s.cap {
+		s.dropLocked(s.lru.Back())
+	}
+}
+
+func (s *store) dropLocked(e *list.Element) {
+	ent := e.Value.(*lruEntry)
+	s.lru.Remove(e)
+	delete(s.elem, ent.job.id)
+	delete(s.jobs, ent.job.id)
+	s.evicted++
+}
+
+// counts reports (live jobs, terminal jobs, evictions) for the gauges.
+func (s *store) counts() (jobs, terminal int, evicted uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs), s.lru.Len(), s.evicted
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testJob(seq uint64, state string) *Job {
+	return &Job{id: fmt.Sprintf("j%06d", seq), seq: seq, state: state}
+}
+
+func TestStoreLRUCapEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	st := newStore(2, 0, func() time.Time { return now })
+	for i := uint64(1); i <= 3; i++ {
+		j := testJob(i, StateDone)
+		st.add(j)
+		st.markTerminal(j)
+	}
+	if _, ok := st.get("j000001"); ok {
+		t.Error("oldest terminal job should have been LRU-evicted at cap 2")
+	}
+	for _, id := range []string{"j000002", "j000003"} {
+		if _, ok := st.get(id); !ok {
+			t.Errorf("job %s unexpectedly evicted", id)
+		}
+	}
+	if _, terminal, evicted := st.counts(); terminal != 2 || evicted != 1 {
+		t.Errorf("counts: terminal=%d evicted=%d", terminal, evicted)
+	}
+}
+
+func TestStoreLRUTouchOnGet(t *testing.T) {
+	now := time.Unix(1000, 0)
+	st := newStore(2, 0, func() time.Time { return now })
+	a, b := testJob(1, StateDone), testJob(2, StateDone)
+	st.add(a)
+	st.markTerminal(a)
+	st.add(b)
+	st.markTerminal(b)
+	st.get("j000001") // a becomes most recent
+	c := testJob(3, StateDone)
+	st.add(c)
+	st.markTerminal(c) // should evict b, not a
+	if _, ok := st.get("j000001"); !ok {
+		t.Error("recently touched job was evicted")
+	}
+	if _, ok := st.get("j000002"); ok {
+		t.Error("least recently used job survived eviction")
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	st := newStore(10, time.Minute, func() time.Time { return now })
+	j := testJob(1, StateDone)
+	st.add(j)
+	st.markTerminal(j)
+	if _, ok := st.get("j000001"); !ok {
+		t.Fatal("fresh job missing")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := st.get("j000001"); !ok {
+		t.Fatal("job expired before its TTL")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := st.get("j000001"); ok {
+		t.Fatal("job survived past its TTL")
+	}
+	if n, _, _ := st.counts(); n != 0 {
+		t.Errorf("expired job still retained, %d jobs", n)
+	}
+}
+
+func TestStoreSweepDropsExpired(t *testing.T) {
+	now := time.Unix(1000, 0)
+	st := newStore(10, time.Minute, func() time.Time { return now })
+	for i := uint64(1); i <= 3; i++ {
+		j := testJob(i, StateDone)
+		st.add(j)
+		st.markTerminal(j)
+	}
+	now = now.Add(2 * time.Minute)
+	st.sweep()
+	if n, _, ev := st.counts(); n != 0 || ev != 3 {
+		t.Errorf("after sweep: jobs=%d evicted=%d", n, ev)
+	}
+}
+
+func TestStoreNeverEvictsPinnedJobs(t *testing.T) {
+	now := time.Unix(1000, 0)
+	st := newStore(1, time.Minute, func() time.Time { return now })
+	running := testJob(1, StateRunning)
+	queued := testJob(2, StateQueued)
+	st.add(running)
+	st.add(queued)
+	// Flood with terminal jobs far past the cap and the TTL.
+	for i := uint64(3); i < 10; i++ {
+		j := testJob(i, StateDone)
+		st.add(j)
+		st.markTerminal(j)
+	}
+	now = now.Add(time.Hour)
+	st.sweep()
+	if _, ok := st.get("j000001"); !ok {
+		t.Error("running job was evicted")
+	}
+	if _, ok := st.get("j000002"); !ok {
+		t.Error("queued job was evicted")
+	}
+}
+
+func TestStoreListOrder(t *testing.T) {
+	st := newStore(10, 0, time.Now)
+	for _, seq := range []uint64{3, 1, 2} {
+		st.add(testJob(seq, StateQueued))
+	}
+	jobs := st.list()
+	if len(jobs) != 3 || jobs[0].seq != 1 || jobs[1].seq != 2 || jobs[2].seq != 3 {
+		t.Errorf("list order: %v", jobs)
+	}
+}

@@ -1,0 +1,48 @@
+package taint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fits/internal/know"
+)
+
+// TestSortAlertsDeterministic checks the full tie-break chain: alerts that
+// collide on every leading key are still put in one well-defined order, so
+// a report is byte-stable no matter what order the engine produced them in.
+func TestSortAlertsDeterministic(t *testing.T) {
+	want := []Alert{
+		{Site: 0x100, Func: 0x80, Sink: "strcpy", Kind: know.SinkOverflow, From: FromCTSRegion},
+		{Site: 0x200, Func: 0x80, Sink: "memcpy", Kind: know.SinkOverflow, From: FromITS, Key: "a"},
+		{Site: 0x200, Func: 0x80, Sink: "memcpy", Kind: know.SinkOverflow, From: FromITS, Key: "b"},
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromCTSValue},
+		{Site: 0x200, Func: 0x90, Sink: "memcpy", Kind: know.SinkOverflow, From: FromCTSRegion},
+		{Site: 0x200, Func: 0x90, Sink: "memcpy", Kind: know.SinkOverflow, From: FromCTSRegion, Binary: "z"},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		got := make([]Alert, len(want))
+		copy(got, want)
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		SortAlerts(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: order diverged:\ngot  %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+// TestRunOrderStable re-runs an engine over the same binary and requires
+// byte-identical alert slices.
+func TestRunOrderStable(t *testing.T) {
+	bin, model := buildBin(t, srcProgram())
+	var prev []Alert
+	for i := 0; i < 3; i++ {
+		e := New(bin, model, Options{UseCTS: true})
+		got := e.Run()
+		if i > 0 && !reflect.DeepEqual(got, prev) {
+			t.Fatalf("run %d differed from run %d", i, i-1)
+		}
+		prev = got
+	}
+}

@@ -143,7 +143,7 @@ func (e *Engine) Run() []Alert {
 			out = append(out, *a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	SortAlerts(out)
 	return out
 }
 
@@ -153,8 +153,38 @@ func (e *Engine) AllAlerts() []Alert {
 	for _, a := range e.alerts {
 		out = append(out, *a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	SortAlerts(out)
 	return out
+}
+
+// SortAlerts orders alerts fully deterministically: by sink site, then
+// containing function, sink name, kind, source kind, key, and binary. Both
+// engines report in this order, so alert lists — and the service responses
+// built from them — are byte-stable across runs and worker counts even if
+// one site ever carries several alerts.
+func SortAlerts(out []Alert) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Sink != b.Sink {
+			return a.Sink < b.Sink
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Binary < b.Binary
+	})
 }
 
 func (e *Engine) report(a Alert) {

@@ -1,0 +1,69 @@
+#!/bin/sh
+# serve-smoke: the fitsd end-to-end CI gate. Boots the daemon on an
+# ephemeral port, submits a generated example firmware image twice through
+# fitsctl/the client package, and asserts:
+#   - both jobs return HTTP 200 results and the result JSON is byte-identical
+#   - the second run hit the shared model cache (visible in /metrics)
+#   - /metrics is non-empty and counts both completions
+#   - SIGTERM drains the daemon cleanly within the deadline
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+echo "serve-smoke: building fitsd, fitsctl, fwgen"
+$GO build -o "$tmp/bin/" ./cmd/fitsd ./cmd/fitsctl ./cmd/fwgen
+
+"$tmp/bin/fwgen" -out "$tmp/corpus" -vendor NETGEAR >/dev/null
+fw=$(ls "$tmp"/corpus/*.fw | head -n 1)
+[ -n "$fw" ] || fail "fwgen produced no firmware"
+
+"$tmp/bin/fitsd" -listen 127.0.0.1:0 -addr-file "$tmp/addr" -workers 2 -v &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "fitsd did not write its address within 10s"
+    kill -0 "$pid" 2>/dev/null || fail "fitsd exited during startup"
+    sleep 0.1
+done
+base="http://$(cat "$tmp/addr")"
+echo "serve-smoke: fitsd up at $base, submitting $(basename "$fw") twice"
+
+ctl() { "$tmp/bin/fitsctl" -addr "$base" "$@"; }
+
+ctl submit -wait -its -scan -out "$tmp/r1.json" "$fw" || fail "first submission"
+ctl submit -wait -its -scan -out "$tmp/r2.json" "$fw" || fail "second submission"
+[ -s "$tmp/r1.json" ] || fail "first result is empty"
+cmp -s "$tmp/r1.json" "$tmp/r2.json" || fail "resubmitted image produced different result JSON"
+
+metrics=$(ctl metrics)
+[ -n "$metrics" ] || fail "/metrics is empty"
+echo "$metrics" | grep -q '^fitsd_jobs_completed_total 2$' \
+    || fail "expected fitsd_jobs_completed_total 2, got: $(echo "$metrics" | grep jobs_completed)"
+echo "$metrics" | grep -q '^fitsd_model_cache_hits_total [1-9]' \
+    || fail "second submission recorded no model-cache hits"
+
+echo "serve-smoke: sending SIGTERM, expecting a clean drain"
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 300 ] || fail "fitsd did not drain within 30s of SIGTERM"
+    sleep 0.1
+done
+wait "$pid" 2>/dev/null || fail "fitsd exited non-zero after SIGTERM"
+pid=""
+
+echo "serve-smoke: OK (identical results, cache hits, clean drain)"
