@@ -1,13 +1,13 @@
-# Development and CI entry points. `make ci` is the full gate: vet, build,
-# plain tests, race-enabled tests, a short fuzz smoke on each fuzz target
-# (go's -fuzz flag accepts a single package, hence one invocation per target),
-# and a one-iteration benchmark smoke that archives pipeline numbers to
-# BENCH_pipeline.json.
+# Development and CI entry points. `make ci` is the full gate: vet, the
+# fitslint invariant suite, build, plain tests, race-enabled tests, a short
+# fuzz smoke on each fuzz target (go's -fuzz flag accepts a single package,
+# hence one invocation per target), and a one-iteration benchmark smoke that
+# archives pipeline numbers to BENCH_pipeline.json.
 
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-smoke fuzz-smoke serve-smoke ci
+.PHONY: all build vet lint test race bench bench-smoke fuzz-smoke serve-smoke ci
 
 all: build
 
@@ -16,6 +16,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# fitslint machine-checks the repo's determinism, concurrency, and context
+# invariants (see DESIGN.md "Static analysis & invariants"). Kept separate
+# from vet so the two gates stay independently runnable.
+lint:
+	$(GO) run ./cmd/fitslint ./...
 
 test:
 	$(GO) test ./...
@@ -44,4 +50,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/binimg
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./internal/loader
 
-ci: vet build test race fuzz-smoke bench-smoke serve-smoke
+ci: vet lint build test race fuzz-smoke bench-smoke serve-smoke

@@ -10,7 +10,6 @@ package main
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
 	"log"
 	"os"
 	"strconv"
@@ -65,11 +64,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
-			b, err := parseLine(line)
-			if err != nil {
-				return nil, err
-			}
-			if b != nil {
+			if b := parseLine(line); b != nil {
 				rep.Benchmarks = append(rep.Benchmarks, *b)
 			}
 		}
@@ -82,29 +77,37 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 //	BenchmarkName-8   2   9120354 ns/op   66.67 cache-hit-%   6727568 B/op   4429 allocs/op
 //
 // Lines that merely start with "Benchmark" but carry no measurements (e.g. a
-// sub-benchmark group header) are skipped by returning (nil, nil).
-func parseLine(line string) (*Benchmark, error) {
+// sub-benchmark group header) are skipped by returning nil.
+//
+// Optional metrics are best-effort: a run may legitimately omit some (a
+// cold-only run reports no cache-hit line) or emit a truncated pair, and
+// archiving the metrics that did parse beats failing the bench-smoke step,
+// so stray tokens are warned about on stderr and dropped.
+func parseLine(line string) *Benchmark {
 	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return nil, nil
+	if len(fields) < 2 {
+		return nil
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return nil, nil // "BenchmarkFoo" used as a prose word, not a result line
+		return nil // "BenchmarkFoo" used as a prose word, not a result line
 	}
 	b := &Benchmark{
 		Name:       trimMaxprocs(fields[0]),
 		Iterations: iters,
 		Metrics:    make(map[string]float64, (len(fields)-2)/2),
 	}
-	for i := 2; i+1 < len(fields); i += 2 {
+	for i := 2; i < len(fields); {
 		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+		if err != nil || i+1 >= len(fields) {
+			log.Printf("ignoring stray token %q in %s result line", fields[i], b.Name)
+			i++
+			continue
 		}
 		b.Metrics[fields[i+1]] = v
+		i += 2
 	}
-	return b, nil
+	return b
 }
 
 // trimMaxprocs strips the numeric -N GOMAXPROCS suffix `go test` appends to

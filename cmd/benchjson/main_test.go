@@ -40,6 +40,32 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseToleratesMissingOptionalMetrics: cold-only runs carry no
+// cache-hit metric and CI permutations can truncate a pair; the parser
+// must keep what parsed instead of failing the bench-smoke step.
+func TestParseToleratesMissingOptionalMetrics(t *testing.T) {
+	in := "BenchmarkPipeline_SingleFirmware-8 \t 1 \t 123456 ns/op \t 52 B/op \t stray\n" +
+		"BenchmarkPipeline_ColdOnly-8 \t 1 \t 999 ns/op\n"
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.Metrics["ns/op"] != 123456 || b.Metrics["B/op"] != 52 || len(b.Metrics) != 2 {
+		t.Errorf("truncated line metrics = %+v, want ns/op and B/op only", b.Metrics)
+	}
+	c := rep.Benchmarks[1]
+	if _, ok := c.Metrics["cache-hit-%"]; ok {
+		t.Errorf("cold-only run should simply lack cache-hit-%%: %+v", c.Metrics)
+	}
+	if c.Metrics["ns/op"] != 999 {
+		t.Errorf("cold-only metrics = %+v", c.Metrics)
+	}
+}
+
 func TestParseSkipsNonResultLines(t *testing.T) {
 	in := "BenchmarkGroup\nBenchmarkGroup/sub-4 	 2 	 100 ns/op\n"
 	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))

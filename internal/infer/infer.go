@@ -316,6 +316,7 @@ func findStub(bin *binimg.Binary, name string) (uint32, bool) {
 
 // InferTarget runs the full inference pipeline on one target.
 func InferTarget(t *loader.Target, cfgn Config) *Ranking {
+	//fitslint:ignore ctxflow context-free compatibility wrapper; cancellation-aware callers use InferTargetContext
 	r, _ := InferTargetContext(context.Background(), t, cfgn)
 	return r
 }
@@ -401,6 +402,7 @@ func InferTargetContext(ctx context.Context, t *loader.Target, cfgn Config) (*Ra
 
 // InferAll runs inference on every target of a loaded firmware.
 func InferAll(res *loader.Result, cfgn Config) []*Ranking {
+	//fitslint:ignore ctxflow context-free compatibility wrapper; cancellation-aware callers use InferAllContext
 	out, _ := InferAllContext(context.Background(), res, cfgn)
 	return out
 }
@@ -427,6 +429,7 @@ func InferAllContext(ctx context.Context, res *loader.Result, cfgn Config) ([]*R
 // AnchorVectorsForTest exposes anchor vector extraction to corpus-tuning
 // tests.
 func AnchorVectorsForTest(t *loader.Target) []bfv.Vector {
+	//fitslint:ignore ctxflow test-only helper; corpus-tuning tests need no cancellation
 	out, _ := anchorVectors(context.Background(), t, DefaultConfig())
 	return out
 }

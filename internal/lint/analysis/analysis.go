@@ -1,0 +1,54 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis driver contract. The repo vendors no
+// third-party modules, so fitslint's analyzers are written against this
+// stdlib-only shim instead; the API mirrors x/tools closely enough that an
+// analyzer body could be moved there unchanged if the dependency ever
+// lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check. Run inspects a single package via
+// the Pass and reports findings through Pass.Report; it must not retain the
+// Pass after returning.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fitslint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph invariant statement shown by `fitslint -help`.
+	Doc string
+
+	// Run applies the analyzer to one type-checked package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer applied to one
+// package: the syntax, the type information, and the report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only, in file-name order
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver owns suppression
+	// (//fitslint:ignore) and ordering; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,108 @@
+// Package ctxflow enforces context threading: a function that receives a
+// context.Context must not mint a fresh root with context.Background() or
+// context.TODO() — doing so silently detaches the callee from cancellation,
+// which is exactly how the pre-PR-3 pipeline leaked goroutines past
+// Shutdown. Additionally, inside internal/ packages (outside tests) fresh
+// context roots are flagged wherever they appear: roots belong to the
+// binaries in cmd/, which own process lifetime; library code derives.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fits/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/TODO() inside functions that already receive a ctx, " +
+		"and any fresh context root in internal/ packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	internal := strings.Contains(pass.Pkg.Path(), "internal/")
+	for _, file := range pass.Files {
+		walk(pass, file, internal, false)
+	}
+	return nil
+}
+
+// walk descends the AST keeping track of whether any lexically enclosing
+// function has a context.Context parameter (closures inherit the flag: the
+// ctx is still in scope for them).
+func walk(pass *analysis.Pass, n ast.Node, internal, ctxInScope bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				walk(pass, n.Body, internal, ctxInScope || hasCtxParam(pass, n.Type))
+			}
+			return false
+		case *ast.FuncLit:
+			walk(pass, n.Body, internal, ctxInScope || hasCtxParam(pass, n.Type))
+			return false
+		case *ast.CallExpr:
+			name, ok := contextRootCall(pass, n)
+			if !ok {
+				return true
+			}
+			switch {
+			case ctxInScope:
+				pass.Reportf(n.Pos(),
+					"context.%s() discards the ctx already in scope; thread the caller's context (or annotate //fitslint:ignore ctxflow <reason>)",
+					name)
+			case internal:
+				pass.Reportf(n.Pos(),
+					"context.%s() in internal package %s; library code derives from a caller-provided context — roots belong to cmd/ binaries (or annotate //fitslint:ignore ctxflow <reason>)",
+					name, pass.Pkg.Path())
+			}
+		}
+		return true
+	})
+}
+
+// contextRootCall reports whether call is context.Background() or
+// context.TODO(), resolved through the type checker so local packages named
+// "context" cannot confuse it.
+func contextRootCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// hasCtxParam reports whether the signature declares a context.Context
+// parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}

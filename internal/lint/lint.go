@@ -1,0 +1,161 @@
+// Package lint assembles the fitslint analyzer suite: it registers the
+// individual analyzers, runs them over loaded packages, and implements the
+// //fitslint:ignore suppression directive.
+//
+// Directive syntax, checked at lint time:
+//
+//	//fitslint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The reason
+// is mandatory — a suppression without a recorded justification is itself a
+// finding — and naming an unknown analyzer is too, so directives cannot rot
+// silently.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"fits/internal/lint/analysis"
+	"fits/internal/lint/ctxflow"
+	"fits/internal/lint/loader"
+	"fits/internal/lint/lockguard"
+	"fits/internal/lint/maporder"
+	"fits/internal/lint/nondet"
+)
+
+// Analyzers returns the registered suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		lockguard.Analyzer,
+		maporder.Analyzer,
+		nondet.Analyzer,
+	}
+}
+
+// Diagnostic is one reported finding with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// RunPackage applies every analyzer to pkg, filters suppressed findings,
+// and returns the rest sorted by position. Malformed suppression
+// directives are appended as findings of the pseudo-analyzer "fitslint".
+func RunPackage(pkg *loader.Package) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, Analyzers())
+}
+
+// RunAnalyzer applies a single analyzer (plus directive validation) to pkg;
+// the linttest fixture harness uses it to test analyzers in isolation.
+func RunAnalyzer(pkg *loader.Package, a *analysis.Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(pkg, []*analysis.Analyzer{a})
+}
+
+func runAnalyzers(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	sup, diags := parseDirectives(pkg, analyzers)
+	for _, a := range analyzers {
+		var raw []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+		for _, d := range raw {
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.matches(a.Name, pos) {
+				continue
+			}
+			diags = append(diags, Diagnostic{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppressions records, per analyzer, the file:line locations covered by a
+// valid //fitslint:ignore directive.
+type suppressions map[string]map[string]map[int]bool // analyzer -> file -> line
+
+// matches reports whether a diagnostic at pos is covered: the directive
+// sits on the flagged line (trailing comment) or the line directly above.
+func (s suppressions) matches(analyzer string, pos token.Position) bool {
+	lines := s[analyzer][pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+var directiveRe = regexp.MustCompile(`^//fitslint:ignore(?:\s+(\S+))?(?:\s+(\S.*))?$`)
+
+// parseDirectives scans every comment for fitslint:ignore directives,
+// returning the suppression index plus findings for malformed ones
+// (missing analyzer, missing reason, unknown analyzer name).
+func parseDirectives(pkg *loader.Package, analyzers []*analysis.Analyzer) (suppressions, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := suppressions{}
+	var bad []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{Analyzer: "fitslint", Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//fitslint:ignore") {
+					continue
+				}
+				m := directiveRe.FindStringSubmatch(c.Text)
+				pos := pkg.Fset.Position(c.Pos())
+				switch {
+				case m == nil || m[1] == "":
+					report(pos, "malformed directive %q: want //fitslint:ignore <analyzer> <reason>", c.Text)
+				case !known[m[1]]:
+					report(pos, "directive names unknown analyzer %q", m[1])
+				case m[2] == "":
+					report(pos, "suppression of %s without a reason; state why the invariant holds", m[1])
+				default:
+					byFile := sup[m[1]]
+					if byFile == nil {
+						byFile = map[string]map[int]bool{}
+						sup[m[1]] = byFile
+					}
+					lines := byFile[pos.Filename]
+					if lines == nil {
+						lines = map[int]bool{}
+						byFile[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}

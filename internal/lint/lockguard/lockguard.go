@@ -1,0 +1,177 @@
+// Package lockguard machine-checks the "guarded by" comments the repo
+// already writes by hand: a struct field annotated `// guarded by mu` may
+// only be read or written inside a function that locks that mutex (mu.Lock
+// or mu.RLock, possibly in an enclosing function for closures), or inside a
+// function following the *Locked naming convention, which documents that
+// the caller holds the lock.
+//
+// This is the invariant behind the PR 1 race in the ucse resolver caches:
+// the comment said "guarded by mu", the code path added later didn't lock.
+// Comments don't fail CI; this analyzer does.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"fits/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flags access to a struct field annotated `guarded by <mu>` from a function that " +
+		"neither locks <mu> nor is named *Locked (caller-holds-lock convention)",
+	Run: run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	locks := map[ast.Node]map[string]bool{} // function node -> mutex names it locks
+	for _, file := range pass.Files {
+		checkNode(pass, file, guarded, locks, nil)
+	}
+	return nil
+}
+
+// collectGuardedFields maps each annotated field object to the name of the
+// mutex that guards it. The mutex must be a field of the same struct;
+// annotations pointing at a nonexistent field are themselves reported, so a
+// typo cannot silently disable the check.
+func collectGuardedFields(pass *analysis.Pass) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := annotation(f)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(f.Pos(), "field is annotated `guarded by %s` but the struct has no field %s", mu, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// annotation extracts the guarded-by mutex name from a field's doc or line
+// comment.
+func annotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkNode walks the AST carrying the stack of enclosing function nodes,
+// reporting guarded-field accesses made with no enclosing lock.
+func checkNode(pass *analysis.Pass, n ast.Node, guarded map[*types.Var]string, locks map[ast.Node]map[string]bool, stack []ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkNode(pass, n.Body, guarded, locks, append(stack, n))
+			}
+			return false
+		case *ast.FuncLit:
+			checkNode(pass, n.Body, guarded, locks, append(stack, n))
+			return false
+		case *ast.SelectorExpr:
+			selInfo, ok := pass.TypesInfo.Selections[n]
+			if !ok {
+				return true
+			}
+			fieldVar, ok := selInfo.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, ok := guarded[fieldVar]
+			if !ok {
+				return true
+			}
+			if !holdsLock(pass, mu, locks, stack) {
+				pass.Reportf(n.Sel.Pos(),
+					"%s is guarded by %s but this function neither locks %s nor follows the *Locked naming convention (//fitslint:ignore lockguard <reason> if the lock is provably held)",
+					n.Sel.Name, mu, mu)
+			}
+		}
+		return true
+	})
+}
+
+// holdsLock reports whether any enclosing function locks mu or is exempt by
+// the *Locked suffix convention.
+func holdsLock(pass *analysis.Pass, mu string, locks map[ast.Node]map[string]bool, stack []ast.Node) bool {
+	for _, fn := range stack {
+		if d, ok := fn.(*ast.FuncDecl); ok && strings.HasSuffix(d.Name.Name, "Locked") {
+			return true
+		}
+		set, ok := locks[fn]
+		if !ok {
+			set = lockCalls(fn)
+			locks[fn] = set
+		}
+		if set[mu] {
+			return true
+		}
+	}
+	return false
+}
+
+// lockCalls scans one function node for `<...>.<mu>.Lock()` / `.RLock()`
+// calls and returns the set of mutex names locked anywhere inside it
+// (including nested closures — a lock taken before spawning a closure is
+// the closure author's responsibility, which the coarse scope errs
+// permissive on).
+func lockCalls(fn ast.Node) map[string]bool {
+	set := map[string]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			set[x.Name] = true
+		case *ast.SelectorExpr:
+			set[x.Sel.Name] = true
+		}
+		return true
+	})
+	return set
+}

@@ -1,0 +1,190 @@
+// Package maporder flags `for range` iteration over a map whose body feeds
+// an order-sensitive sink (append, channel send, value return, or a
+// write/print/encode call) with no subsequent ordering call in the same
+// function.
+//
+// This is the bug class PR 1 chased through internal/cfg's jump-table
+// resolution and PR 3 re-fixed with taint.SortAlerts: Go randomizes map
+// iteration order per run, so any output derived from an unsorted map walk
+// breaks the pipeline's byte-identical-results guarantee.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fits/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration feeding an append/return/output path without a " +
+		"subsequent sort.*, slices.Sort*, or Sort-prefixed ordering call in the same function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects one function scope. Nested function literals are
+// treated as part of the enclosing scope: a sort performed in or around a
+// closure still orders the closure's output, and closures rarely deserve a
+// scope of their own for this invariant.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				ranges = append(ranges, rs)
+			}
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		sink := orderSensitiveSink(pass, rs)
+		if sink == "" {
+			continue
+		}
+		if hasOrderingCallAfter(pass, body, rs) {
+			continue
+		}
+		pass.Reportf(rs.For,
+			"map iteration feeds %s but no sort follows in this function; map order is nondeterministic (sort the output or annotate //fitslint:ignore maporder <reason>)",
+			sink)
+	}
+}
+
+// orderSensitiveSink reports the first construct in the loop body whose
+// result depends on iteration order, or "" if none. Map and set inserts are
+// deliberately not sinks: writing m2[k] = v per key is order-independent,
+// and for the same reason appends into a map slot indexed by the loop key
+// (out[k] = append(out[k], ...)) are exempt.
+func orderSensitiveSink(pass *analysis.Pass, rs *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" && !keyedByLoopVar(pass, rs, n) {
+						sink = "an append"
+					}
+				}
+			case *ast.SelectorExpr:
+				if isOutputName(fun.Sel.Name) {
+					sink = "an output call (" + fun.Sel.Name + ")"
+				}
+			}
+		case *ast.SendStmt:
+			sink = "a channel send"
+		case *ast.ReturnStmt:
+			// A return of compile-time constants (`return true` in a
+			// membership probe) is order-independent; anything else that
+			// escapes mid-iteration depends on which key came up first.
+			for _, res := range n.Results {
+				if tv, ok := pass.TypesInfo.Types[res]; !ok || tv.Value == nil {
+					sink = "a value return"
+					break
+				}
+			}
+		}
+		return sink == ""
+	})
+	return sink
+}
+
+// keyedByLoopVar reports whether an append call's destination is an index
+// expression keyed by the range statement's key variable: each iteration
+// then extends a distinct per-key slot, so iteration order cannot show.
+func keyedByLoopVar(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) bool {
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[keyIdent]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[keyIdent] // `for k = range m` over a pre-declared k
+	}
+	if keyObj == nil {
+		return false
+	}
+	idx, ok := call.Args[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	used, ok := idx.Index.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[used] == keyObj
+}
+
+// isOutputName matches method/function names that emit bytes in call order.
+func isOutputName(name string) bool {
+	for _, prefix := range []string{"Print", "Fprint", "Write", "Encode", "Sprint"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasOrderingCallAfter reports whether the function body contains, at or
+// after the range statement, a call that imposes an order: anything from
+// package sort, slices.Sort*, or any callee whose name begins with
+// Sort/sort (taint.SortAlerts, local sortKeys helpers, ...).
+func hasOrderingCallAfter(pass *analysis.Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.Pos() {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if pkg, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); ok {
+					switch pn.Imported().Path() {
+					case "sort":
+						found = true
+					case "slices":
+						found = strings.HasPrefix(fun.Sel.Name, "Sort")
+					}
+				}
+			}
+			if isSortName(fun.Sel.Name) {
+				found = true
+			}
+		case *ast.Ident:
+			if isSortName(fun.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isSortName(name string) bool {
+	return strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "sort")
+}

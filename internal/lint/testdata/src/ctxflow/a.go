@@ -1,0 +1,45 @@
+// Fixture for the ctxflow analyzer, type-checked under an internal/ import
+// path so the fresh-root rule applies.
+package fixture
+
+import "context"
+
+// Analyze stands in for any context-accepting callee.
+func Analyze(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// Detach discards the ctx it was handed.
+func Detach(ctx context.Context) error {
+	return Analyze(context.Background(), 1) // want `context\.Background\(\) discards the ctx already in scope`
+}
+
+// Fire mints a fresh root inside a library package.
+func Fire() {
+	ctx := context.TODO() // want `context\.TODO\(\) in internal package`
+	_ = ctx
+}
+
+// Thread passes the caller's context along: clean.
+func Thread(ctx context.Context) error {
+	return Analyze(ctx, 2)
+}
+
+// Spawn shows that closures inherit the enclosing ctx parameter.
+func Spawn(ctx context.Context) {
+	go func() {
+		_ = Analyze(context.Background(), 3) // want `context\.Background\(\) discards the ctx already in scope`
+	}()
+}
+
+// Derive builds on the given context: clean.
+func Derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// Audit documents why a detached root is correct and suppresses the finding.
+func Audit(ctx context.Context) error {
+	//fitslint:ignore ctxflow audit record must be written even when the request is canceled
+	bg := context.Background()
+	return Analyze(bg, 4)
+}

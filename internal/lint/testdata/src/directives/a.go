@@ -1,0 +1,12 @@
+// Fixture for directive validation: every fitslint:ignore here is
+// malformed in a distinct way and must be reported by the pseudo-analyzer
+// "fitslint".
+package fixture
+
+//fitslint:ignore
+
+//fitslint:ignore nosuchanalyzer the analyzer name is wrong
+
+//fitslint:ignore maporder
+
+func f() {}

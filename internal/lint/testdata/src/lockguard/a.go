@@ -1,0 +1,69 @@
+// Fixture for the lockguard analyzer: locked access, the *Locked
+// caller-holds-lock convention, closures under an enclosing lock, an
+// unguarded access true positive, a broken annotation, and a reasoned
+// suppression in a constructor.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+
+	name string // immutable after construction; deliberately unannotated
+}
+
+// inc locks: clean.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// peek reads n with no lock.
+func (c *counter) peek() int {
+	return c.n // want `n is guarded by mu but this function neither locks mu`
+}
+
+// bumpLocked follows the caller-holds-lock naming convention: clean.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// apply accesses guarded state from a closure under the enclosing lock:
+// clean.
+func (c *counter) apply() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	func() {
+		c.n += len(c.m)
+	}()
+}
+
+// rename touches only unannotated state: clean.
+func (c *counter) rename(s string) {
+	c.name = s
+}
+
+// newCounter initializes guarded fields before the value is shared and
+// documents that with a suppression.
+func newCounter() *counter {
+	c := &counter{m: map[string]int{}}
+	//fitslint:ignore lockguard freshly allocated; no other goroutine can hold c yet
+	c.n = 1
+	return c
+}
+
+type bad struct {
+	mu sync.Mutex
+	// guarded by mux
+	x int // want `annotated .guarded by mux. but the struct has no field mux`
+}
+
+// use keeps the declarations live.
+func use(b *bad) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.x
+}

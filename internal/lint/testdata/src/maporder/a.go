@@ -1,0 +1,98 @@
+// Fixture for the maporder analyzer: true positives (append, output call,
+// value return), clean negatives (sorted afterwards, constant-return
+// membership probe, non-map range), and a reasoned suppression.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortedKeys is the sanctioned pattern: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys leaks map order into its return value.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration feeds an append but no sort follows`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// dump prints entries in map order.
+func dump(m map[string]int) {
+	for k, v := range m { // want `map iteration feeds an output call \(Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+// anyKey returns whichever key iteration happened to surface first.
+func anyKey(m map[string]int) string {
+	for k := range m { // want `map iteration feeds a value return`
+		return k
+	}
+	return ""
+}
+
+// hasNegative is a membership probe: the constant returns carry no order.
+func hasNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// domainSorted relies on a Sort-prefixed helper, the taint.SortAlerts
+// pattern.
+func domainSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	SortKeys(keys)
+	return keys
+}
+
+// SortKeys stands in for a domain ordering helper like taint.SortAlerts.
+func SortKeys(keys []string) { sort.Strings(keys) }
+
+// arraysAreOrdered: ranging over an array is deterministic, no finding.
+func arraysAreOrdered(a [4]int) []int {
+	var out []int
+	for _, v := range a {
+		out = append(out, v)
+	}
+	return out
+}
+
+// grouped appends into per-key slots indexed by the loop key: each slot's
+// content is independent of iteration order, no finding.
+func grouped(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		for _, v := range vs {
+			out[k] = append(out[k], v+1)
+		}
+	}
+	return out
+}
+
+// setUnion documents why order does not matter and suppresses the finding.
+func setUnion(m map[string]int) []string {
+	var keys []string
+	//fitslint:ignore maporder consumer deduplicates into a set; order is irrelevant
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

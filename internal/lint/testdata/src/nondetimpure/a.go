@@ -1,0 +1,18 @@
+// Fixture proving nondet stays silent outside the pure analysis packages:
+// type-checked under a service-layer import path, these calls are fine.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+// Uptime may read the clock in the service layer.
+func Uptime(start time.Time) time.Duration {
+	return time.Now().Sub(start)
+}
+
+// ListenAddr may read the environment in the service layer.
+func ListenAddr() string {
+	return os.Getenv("FITSD_LISTEN")
+}

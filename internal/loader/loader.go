@@ -114,6 +114,7 @@ func isExecutablePath(p string) bool {
 
 // Load unpacks raw firmware bytes and prepares every network target.
 func Load(raw []byte, opts Options) (*Result, error) {
+	//fitslint:ignore ctxflow context-free compatibility wrapper; cancellation-aware callers use LoadContext
 	return LoadContext(context.Background(), raw, opts)
 }
 
@@ -136,6 +137,7 @@ func LoadContext(ctx context.Context, raw []byte, opts Options) (*Result, error)
 
 // LoadImage prepares targets from an already unpacked image.
 func LoadImage(img *firmware.Image, opts Options) (*Result, error) {
+	//fitslint:ignore ctxflow context-free compatibility wrapper; cancellation-aware callers use LoadImageContext
 	return LoadImageContext(context.Background(), img, opts)
 }
 

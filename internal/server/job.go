@@ -21,30 +21,31 @@ type Job struct {
 	spec optbuild.Spec
 
 	mu        sync.Mutex
-	state     string
-	raw       []byte // firmware bytes; dropped once the job is terminal
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	err       string
-	result    []byte
-	cache     CacheDelta
+	state     string    // guarded by mu
+	raw       []byte    // firmware bytes; dropped once the job is terminal; guarded by mu
+	submitted time.Time // guarded by mu
+	started   time.Time // guarded by mu
+	finished  time.Time // guarded by mu
+	err       string    // guarded by mu
+	result    []byte    // guarded by mu
+	cache     CacheDelta // guarded by mu
 	// cancelRequested distinguishes a DELETE-initiated abort from a
 	// timeout or server drain when classifying the runner's error.
-	cancelRequested bool
-	drained         bool
-	cancel          context.CancelFunc // non-nil while running
+	cancelRequested bool               // guarded by mu
+	drained         bool               // guarded by mu
+	cancel          context.CancelFunc // non-nil while running; guarded by mu
 }
 
 // start transitions queued → running and derives the job context: the
 // server base context, capped by the server job timeout and the job's own
-// requested timeout. It returns false (and no context) when the job was
-// canceled while queued.
-func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.Time) (context.Context, bool) {
+// requested timeout. The firmware bytes are handed out under the lock so
+// the worker never touches j.raw unlocked. It returns false (and no
+// context) when the job was canceled while queued.
+func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.Time) (context.Context, []byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
-		return nil, false
+		return nil, nil, false
 	}
 	var ctx context.Context
 	var cancel context.CancelFunc
@@ -61,11 +62,13 @@ func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.
 	j.state = StateRunning
 	j.started = now
 	j.cancel = cancel
-	return ctx, true
+	return ctx, j.raw, true
 }
 
-// finish records the runner outcome and classifies the terminal state.
-func (j *Job) finish(out *RunOutput, err error, now time.Time) string {
+// finish records the runner outcome and classifies the terminal state,
+// returning it with the run duration so callers need no unlocked reads of
+// the timing fields.
+func (j *Job) finish(out *RunOutput, err error, now time.Time) (state string, elapsed time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.cancel != nil {
@@ -89,7 +92,7 @@ func (j *Job) finish(out *RunOutput, err error, now time.Time) string {
 		j.state = StateFailed
 		j.err = err.Error()
 	}
-	return j.state
+	return j.state, j.finished.Sub(j.started)
 }
 
 // requestCancel implements DELETE: a queued job is canceled on the spot

@@ -48,10 +48,10 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram counts observations into cumulative buckets, Prometheus-style.
 type Histogram struct {
 	mu      sync.Mutex
-	bounds  []float64 // upper bounds, ascending; +Inf is implicit
-	buckets []uint64  // len(bounds)+1, non-cumulative
-	sum     float64
-	count   uint64
+	bounds  []float64 // upper bounds, ascending; +Inf is implicit; immutable
+	buckets []uint64  // len(bounds)+1, non-cumulative; guarded by mu
+	sum     float64   // guarded by mu
+	count   uint64    // guarded by mu
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
@@ -85,8 +85,8 @@ type metric struct {
 // Registry holds registered metrics and renders them as Prometheus text.
 type Registry struct {
 	mu      sync.Mutex
-	metrics []metric
-	byName  map[string]bool
+	metrics []metric        // guarded by mu
+	byName  map[string]bool // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -112,8 +112,8 @@ type Server struct {
 	janitorWG  sync.WaitGroup
 	stop       chan struct{}
 
-	qmu      sync.Mutex // guards queue send vs. close and the draining flag
-	draining bool
+	qmu      sync.Mutex // serializes queue send vs. close
+	draining bool       // guarded by qmu
 
 	seq     atomic.Uint64
 	running sync.Map // job id -> *Job, jobs currently in a worker
@@ -141,6 +141,7 @@ func New(cfg Config) *Server {
 	}
 	s.store = newStore(cfg.StoreCap, cfg.StoreTTL, func() time.Time { return s.now() })
 	s.queue = make(chan *Job, cfg.QueueDepth)
+	//fitslint:ignore ctxflow server-lifetime root: every job context derives from it and Shutdown cancels it
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
 	s.mAccepted = s.reg.Counter("fitsd_jobs_accepted_total", "Jobs accepted into the queue.")
@@ -226,7 +227,7 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *Job) {
-	ctx, ok := j.start(s.baseCtx, s.cfg.JobTimeout, s.now())
+	ctx, raw, ok := j.start(s.baseCtx, s.cfg.JobTimeout, s.now())
 	if !ok {
 		// Canceled while queued; already terminal and counted.
 		return
@@ -234,11 +235,11 @@ func (s *Server) runJob(j *Job) {
 	s.running.Store(j.id, j)
 	s.gRunning.Add(1)
 	s.cfg.Logf("job %s: running (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
-	out, err := s.cfg.Runner(ctx, j.raw, j.spec, s.cfg.Cache)
-	state := j.finish(out, err, s.now())
+	out, err := s.cfg.Runner(ctx, raw, j.spec, s.cfg.Cache)
+	state, elapsed := j.finish(out, err, s.now())
 	s.gRunning.Add(-1)
 	s.running.Delete(j.id)
-	s.hDuration.Observe(j.finished.Sub(j.started).Seconds())
+	s.hDuration.Observe(elapsed.Seconds())
 	switch state {
 	case StateDone:
 		s.mCompleted.Inc()
@@ -247,7 +248,7 @@ func (s *Server) runJob(j *Job) {
 	default:
 		s.mFailed.Inc()
 	}
-	s.cfg.Logf("job %s: %s after %s", j.id, state, j.finished.Sub(j.started).Round(time.Millisecond))
+	s.cfg.Logf("job %s: %s after %s", j.id, state, elapsed.Round(time.Millisecond))
 	s.store.markTerminal(j)
 }
 

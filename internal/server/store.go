@@ -15,13 +15,13 @@ import (
 // store operation plus periodically by the server's janitor.
 type store struct {
 	mu      sync.Mutex
-	jobs    map[string]*Job
-	lru     *list.List // of *lruEntry; front = most recently touched
-	elem    map[string]*list.Element
+	jobs    map[string]*Job          // guarded by mu
+	lru     *list.List               // of *lruEntry; front = most recently touched; guarded by mu
+	elem    map[string]*list.Element // guarded by mu
 	cap     int
 	ttl     time.Duration // 0 = no expiry
 	now     func() time.Time
-	evicted uint64
+	evicted uint64 // guarded by mu
 }
 
 type lruEntry struct {

@@ -3,6 +3,7 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"fits/internal/minic"
 )
@@ -432,15 +433,9 @@ func (b *appBuilder) handlerFunctions() {
 			kinds = append(kinds, cat)
 		}
 	}
-	// Deterministic order: sort by category then index is implicit above;
-	// map iteration order must not leak into output.
-	for i := 0; i < len(kinds); i++ {
-		for j := i + 1; j < len(kinds); j++ {
-			if kinds[j] < kinds[i] {
-				kinds[i], kinds[j] = kinds[j], kinds[i]
-			}
-		}
-	}
+	// Deterministic order before the seeded shuffle: map iteration order
+	// must not leak into output.
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	b.r.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
 
 	usedKeys := map[string]bool{}

@@ -353,13 +353,19 @@ func (e *Engine) taintObject(base uint32, key string) {
 // scanObjectSinks reports sinks whose dangerous argument points into a
 // buffer written by a pointer-output source.
 func (e *Engine) scanObjectSinks() {
+	// When two tainted spans overlap a constant, the object with the
+	// closest (highest) base wins; picking the first map hit instead made
+	// the reported key vary run to run.
 	inObject := func(c uint32) (string, bool) {
+		var bestBase uint32
+		var bestKey string
+		found := false
 		for base, key := range e.taintedObjects {
-			if c >= base && c < base+taintedObjectSpan {
-				return key, true
+			if c >= base && c < base+taintedObjectSpan && (!found || base > bestBase) {
+				bestBase, bestKey, found = base, key, true
 			}
 		}
-		return "", false
+		return bestKey, found
 	}
 	for _, cs := range e.sinkSites() {
 		spec := know.Sinks[cs.ImportName]

@@ -11,13 +11,33 @@ set -eu
 GO=${GO:-go}
 tmp=$(mktemp -d)
 pid=""
+
+# Every exit path — success, fail(), set -e, or a delivered signal — must
+# run through cleanup, or an aborted smoke leaks a fitsd listener that
+# breaks the next `make ci`. The daemon gets a grace period to drain and
+# release its socket before the hard kill, and is reaped so no zombie
+# outlives the script.
 cleanup() {
-    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+    status=$?
+    if [ -n "${pid:-}" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -TERM "$pid" 2>/dev/null || true
+        i=0
+        while kill -0 "$pid" 2>/dev/null && [ "$i" -lt 20 ]; do
+            i=$((i + 1))
+            sleep 0.1
+        done
         kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
     fi
     rm -rf "$tmp"
+    return "$status"
 }
-trap cleanup EXIT INT TERM
+trap cleanup EXIT
+# Convert signals into plain exits so the EXIT trap runs exactly once and
+# the script still dies with the conventional 128+signo status.
+trap 'exit 129' HUP
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
 
