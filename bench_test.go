@@ -259,6 +259,74 @@ func BenchmarkPipeline_SingleFirmwareCached(b *testing.B) {
 	b.ReportMetric(100*opts.Cache.Stats().HitRate(), "cache-hit-%")
 }
 
+var (
+	benchChainOnce sync.Once
+	benchChainVal  *synth.Chain
+	benchChainErr  error
+)
+
+// benchChain generates one evolution chain (two versions, one mutated
+// function) for the diff benchmarks.
+func benchChain(b *testing.B) *synth.Chain {
+	b.Helper()
+	benchChainOnce.Do(func() {
+		benchChainVal, benchChainErr = synth.GenerateChain(synth.ChainDataset()[0])
+	})
+	if benchChainErr != nil {
+		b.Fatalf("chain: %v", benchChainErr)
+	}
+	return benchChainVal
+}
+
+// BenchmarkPipeline_DiffCold measures an evolution diff with a cold cache
+// on every iteration: both versions pay full analysis, alignment runs over
+// freshly built models. This is the floor the warm path is measured
+// against.
+func BenchmarkPipeline_DiffCold(b *testing.B) {
+	c := benchChain(b)
+	oldRaw, newRaw := c.Versions[0].Packed, c.Versions[1].Packed
+	b.ResetTimer()
+	var d *DiffResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		opts := DefaultDiffOptions()
+		opts.Cache = NewCache(0, 0)
+		if d, err = Diff(oldRaw, newRaw, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(d.Report.ReuseRatio, "reuse-ratio")
+}
+
+// BenchmarkPipeline_DiffWarm is the same diff behind a warm cache: the
+// first diff (outside the timed loop) populates models, vectors, rankings
+// and alerts for both versions; the timed iterations replay it with nearly
+// everything reused. The reuse-ratio metric lands in BENCH_pipeline.json
+// next to the cold number so CI tracks the incremental win.
+func BenchmarkPipeline_DiffWarm(b *testing.B) {
+	c := benchChain(b)
+	oldRaw, newRaw := c.Versions[0].Packed, c.Versions[1].Packed
+	opts := DefaultDiffOptions()
+	opts.Cache = NewCache(0, 0)
+	if _, err := Diff(oldRaw, newRaw, opts); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	var d *DiffResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if d, err = Diff(oldRaw, newRaw, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if d.Report.ReuseRatio < 0.9 {
+		b.Fatalf("warm diff reused only %.2f of functions", d.Report.ReuseRatio)
+	}
+	b.ReportMetric(d.Report.ReuseRatio, "reuse-ratio")
+}
+
 // BenchmarkAnalyzeParallel sweeps the worker count over a fixed slice of the
 // corpus and cross-checks that every parallelism level produces the same
 // result as the serial run. Each jN variant reports its wall-clock speedup

@@ -69,8 +69,32 @@ func (c *Client) SubmitPath(ctx context.Context, path string, opts optbuild.Spec
 	return c.submit(ctx, body)
 }
 
+// SubmitDiff posts two firmware versions for an evolution diff and returns
+// the accepted job; its result is the server's DiffJobResult JSON.
+func (c *Client) SubmitDiff(ctx context.Context, oldFw, newFw []byte, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	body, err := json.Marshal(server.DiffSubmitRequest{OldFirmware: oldFw, NewFirmware: newFw, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return c.submitTo(ctx, "/v1/diffs", body)
+}
+
+// SubmitDiffPaths asks the server to read both versions from paths on its
+// own filesystem.
+func (c *Client) SubmitDiffPaths(ctx context.Context, oldPath, newPath string, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	body, err := json.Marshal(server.DiffSubmitRequest{OldPath: oldPath, NewPath: newPath, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return c.submitTo(ctx, "/v1/diffs", body)
+}
+
 func (c *Client) submit(ctx context.Context, body []byte) (*server.SubmitResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	return c.submitTo(ctx, "/v1/jobs", body)
+}
+
+func (c *Client) submitTo(ctx context.Context, path string, body []byte) (*server.SubmitResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 //	fits -top 5 firmware.fw
 //	fits -j 8 -timeout 30s firmware.fw  # 8 workers, abort after 30s
 //	fits -unpack firmware.fw            # list the filesystem only
+//	fits diff old.fw new.fw             # alert/ITS churn between versions
 //
 // Option plumbing is shared with cmd/fwscan and fitsd via
 // internal/optbuild.
@@ -33,8 +34,13 @@ func main() {
 	cacheCfg.BindFlags(flag.CommandLine)
 	unpackOnly := flag.Bool("unpack", false, "only unpack and list the filesystem")
 	flag.Parse()
+	if flag.NArg() == 3 && flag.Arg(0) == "diff" {
+		runDiff(spec, cacheCfg, flag.Arg(1), flag.Arg(2))
+		return
+	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: fits [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-unpack] firmware.fw")
+		log.Fatal("usage: fits [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-unpack] firmware.fw\n" +
+			"       fits diff old.fw new.fw")
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -68,6 +74,50 @@ func main() {
 		fmt.Printf("\n%s (%s): %d custom functions\n", t.Path, t.Binary, t.NumFuncs)
 		for i, c := range t.TopCandidates(spec.TopK) {
 			fmt.Printf("  %d. %#x  score %.4f\n", i+1, c.Entry, c.Score)
+		}
+	}
+}
+
+// runDiff analyzes two versions of an image incrementally and prints the
+// alert and taint-source churn between them.
+func runDiff(spec optbuild.Spec, cacheCfg optbuild.CacheConfig, oldPath, newPath string) {
+	oldRaw, err := os.ReadFile(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRaw, err := os.ReadFile(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dopts, err := spec.DiffOptions(cacheCfg.New())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := spec.Context(context.Background())
+	defer cancel()
+	d, err := fits.DiffContext(ctx, oldRaw, newRaw, dopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := d.Report
+	fmt.Printf("%s %s: %s -> %s — diffed in %s\n",
+		d.New.Vendor, d.New.Product, d.Old.Version, d.New.Version, d.Elapsed.Round(1e6))
+	fmt.Printf("functions reused: %d/%d (%.1f%%)\n", r.ReusedFuncs, r.TotalFuncs, 100*r.ReuseRatio)
+	fmt.Printf("alerts:  %d appeared, %d fixed, %d persisted\n", r.AlertsAppeared, r.AlertsFixed, r.AlertsPersisted)
+	fmt.Printf("sources: %d appeared, %d fixed, %d persisted\n", r.ITSAppeared, r.ITSFixed, r.ITSPersisted)
+	for _, td := range r.Targets {
+		if len(td.Appeared)+len(td.Fixed)+len(td.Renames) == 0 {
+			continue
+		}
+		fmt.Printf("\n%s\n", td.Path)
+		for _, a := range td.Appeared {
+			fmt.Printf("  + %s %s at %#x (func %#x), source %s\n", a.Kind, a.Sink, a.Site, a.Func, a.Source)
+		}
+		for _, a := range td.Fixed {
+			fmt.Printf("  - %s %s at %#x (func %#x), source %s\n", a.Kind, a.Sink, a.Site, a.Func, a.Source)
+		}
+		for _, rn := range td.Renames {
+			fmt.Printf("  ~ %s renamed to %s (similarity %.3f)\n", rn.OldName, rn.NewName, rn.Similarity)
 		}
 	}
 }

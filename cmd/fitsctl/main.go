@@ -4,6 +4,7 @@
 // Usage:
 //
 //	fitsctl [-addr URL] submit [-wait] [-engine E] [-its] [-top N] [-scan] [-out F] firmware.fw
+//	fitsctl [-addr URL] diff [-wait] [-by-path] [-out F] old.fw new.fw
 //	fitsctl [-addr URL] status <job-id>
 //	fitsctl [-addr URL] result <job-id>
 //	fitsctl [-addr URL] list
@@ -42,6 +43,8 @@ func main() {
 	switch cmd {
 	case "submit":
 		err = runSubmit(ctx, c, args)
+	case "diff":
+		err = runDiff(ctx, c, args)
 	case "status":
 		err = runStatus(ctx, c, args)
 	case "result":
@@ -69,6 +72,7 @@ func usage() {
 
 commands:
   submit [-wait] [-engine E] [-its] [-scan] [-top N] [-j N] [-timeout D] [-by-path] [-out FILE] firmware.fw
+  diff [-wait] [-engine E] [-top N] [-j N] [-timeout D] [-by-path] [-out FILE] old.fw new.fw
   status <job-id>      print one job's status JSON
   result <job-id>      print a done job's result JSON
   list                 list retained jobs
@@ -112,7 +116,54 @@ func runSubmit(ctx context.Context, c *client.Client, args []string) error {
 	if !*wait {
 		return nil
 	}
-	st, err := c.Wait(ctx, resp.ID, *poll)
+	return awaitResult(ctx, c, resp.ID, *poll, *out)
+}
+
+// runDiff submits two firmware versions for an evolution diff.
+func runDiff(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	var spec optbuild.Spec
+	spec.BindAnalyzeFlags(fs)
+	fs.StringVar(&spec.Engine, "engine", "static", `engine: "static" (STA) or "symbolic" (Karonte-style)`)
+	wait := fs.Bool("wait", false, "block until the diff finishes and print its result")
+	byPath := fs.Bool("by-path", false, "send the file paths instead of the bytes (server-local files)")
+	out := fs.String("out", "", "with -wait: write the result JSON to this file")
+	poll := fs.Duration("poll", 100*time.Millisecond, "with -wait: status poll interval")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two firmware files (old new), got %d args", fs.NArg())
+	}
+	var (
+		resp *server.SubmitResponse
+		err  error
+	)
+	if *byPath {
+		resp, err = c.SubmitDiffPaths(ctx, fs.Arg(0), fs.Arg(1), spec)
+	} else {
+		oldRaw, rerr := os.ReadFile(fs.Arg(0))
+		if rerr != nil {
+			return rerr
+		}
+		newRaw, rerr := os.ReadFile(fs.Arg(1))
+		if rerr != nil {
+			return rerr
+		}
+		resp, err = c.SubmitDiff(ctx, oldRaw, newRaw, spec)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s %s\n", resp.ID, resp.State)
+	if !*wait {
+		return nil
+	}
+	return awaitResult(ctx, c, resp.ID, *poll, *out)
+}
+
+// awaitResult blocks until the job is done and prints (or writes) its
+// result JSON.
+func awaitResult(ctx context.Context, c *client.Client, id string, poll time.Duration, out string) error {
+	st, err := c.Wait(ctx, id, poll)
 	if err != nil {
 		return err
 	}
@@ -129,8 +180,8 @@ func runSubmit(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	if *out != "" {
-		return os.WriteFile(*out, res, 0o644)
+	if out != "" {
+		return os.WriteFile(out, res, 0o644)
 	}
 	fmt.Println(string(res))
 	return nil

@@ -1,0 +1,155 @@
+package fits
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"fits/internal/evolve"
+)
+
+// DiffOptions configures Diff.
+type DiffOptions struct {
+	Options
+	// TopK is how many top-ranked candidates per target form the inferred
+	// ITS set carried through the churn computation. Zero means 3.
+	TopK int
+	// Engine and StringFilter configure the taint scans run on both
+	// versions.
+	Engine       Engine
+	StringFilter bool
+}
+
+// DefaultDiffOptions returns the paper's configuration with the static
+// engine and the default candidate depth.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{Options: DefaultOptions(), TopK: 3}
+}
+
+// DiffStageTimings breaks a diff's wall time into its pipeline stages.
+type DiffStageTimings struct {
+	AnalyzeOld time.Duration
+	ScanOld    time.Duration
+	AnalyzeNew time.Duration
+	ScanNew    time.Duration
+	Align      time.Duration
+}
+
+// DiffResult is the outcome of comparing two firmware versions.
+type DiffResult struct {
+	Old *Result
+	New *Result
+	// OldAlerts and NewAlerts are each version's scan results, in target
+	// order, for callers that want the absolute picture next to the churn.
+	OldAlerts [][]Alert
+	NewAlerts [][]Alert
+	Report    *evolve.DiffReport
+	Timings   DiffStageTimings
+	Elapsed   time.Duration
+}
+
+// Diff analyzes two versions of a firmware image and reports what changed:
+// which alerts and inferred taint sources appeared, were fixed, or
+// persisted, and how much of the new version's analysis was reused from the
+// old one.
+func Diff(oldRaw, newRaw []byte, opts DiffOptions) (*DiffResult, error) {
+	return DiffContext(context.Background(), oldRaw, newRaw, opts)
+}
+
+// DiffContext is Diff with cancellation. The old version is analyzed and
+// scanned first; the new version's analysis then runs with the old targets
+// threaded through the loader, so unchanged functions are replayed, their
+// feature vectors are reused, and unchanged binaries skip inference and
+// scanning entirely. The new-version results are byte-identical to a cold
+// Analyze of the same image: reuse only ever skips work whose output is
+// proven unchanged. Without a cache in opts a private one is created for
+// the call, since all reuse bookkeeping rides on content hashes.
+func DiffContext(ctx context.Context, oldRaw, newRaw []byte, opts DiffOptions) (*DiffResult, error) {
+	start := time.Now()
+	if opts.Cache == nil {
+		opts.Cache = NewCache(0, 0)
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 3
+	}
+
+	stage := time.Now()
+	oldRes, err := AnalyzeContext(ctx, oldRaw, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	out := &DiffResult{Old: oldRes}
+	out.Timings.AnalyzeOld = time.Since(stage)
+
+	stage = time.Now()
+	oldAlerts, oldSide, err := scanSide(ctx, oldRes, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.OldAlerts = oldAlerts
+	out.Timings.ScanOld = time.Since(stage)
+
+	stage = time.Now()
+	newOpts := opts.Options
+	for _, tr := range oldRes.Targets {
+		newOpts.prev = append(newOpts.prev, tr.target)
+	}
+	newRes, err := AnalyzeContext(ctx, newRaw, newOpts)
+	if err != nil {
+		return nil, err
+	}
+	out.New = newRes
+	out.Timings.AnalyzeNew = time.Since(stage)
+
+	stage = time.Now()
+	newAlerts, newSide, err := scanSide(ctx, newRes, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.NewAlerts = newAlerts
+	out.Timings.ScanNew = time.Since(stage)
+
+	stage = time.Now()
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report, err := evolve.BuildReport(ctx, oldSide, newSide, inferConfig(opts.Options, workers))
+	if err != nil {
+		return nil, err
+	}
+	out.Report = report
+	out.Timings.Align = time.Since(stage)
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// scanSide runs the taint scan on every target of one analyzed version and
+// packages the results for alignment.
+func scanSide(ctx context.Context, res *Result, opts DiffOptions) ([][]Alert, []evolve.TargetAnalysis, error) {
+	alerts := make([][]Alert, len(res.Targets))
+	side := make([]evolve.TargetAnalysis, len(res.Targets))
+	for i, tr := range res.Targets {
+		var its []uint32
+		ta := evolve.TargetAnalysis{Target: tr.target}
+		for _, c := range tr.TopCandidates(opts.TopK) {
+			its = append(its, c.Entry)
+			ta.ITS = append(ta.ITS, evolve.ITS{Entry: c.Entry, Score: c.Score})
+		}
+		got, err := tr.ScanContext(ctx, ScanOptions{
+			Engine: opts.Engine, ITS: its, StringFilter: opts.StringFilter,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		alerts[i] = got
+		for _, a := range got {
+			ta.Alerts = append(ta.Alerts, evolve.Alert{
+				Binary: a.Binary, Site: a.Site, Func: a.Func,
+				Sink: a.Sink, Kind: a.Kind, Source: a.Source,
+			})
+		}
+		side[i] = ta
+	}
+	return alerts, side, nil
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"fits/internal/infer"
@@ -79,10 +80,23 @@ type Options struct {
 	// byte-identical with and without a cache; only Elapsed and the
 	// CacheInfo diagnostics differ.
 	Cache *Cache
+	// prev threads the previous firmware version's targets into the loader
+	// so unchanged functions are replayed instead of rebuilt; set by Diff.
+	prev []*loader.Target
 }
 
 // DefaultOptions returns the paper's configuration.
 func DefaultOptions() Options { return Options{Metric: score.Cosine} }
+
+// inferConfig maps analysis options onto the inference pipeline's
+// configuration.
+func inferConfig(opts Options, workers int) infer.Config {
+	cfgn := infer.DefaultConfig()
+	cfgn.Metric = opts.Metric
+	cfgn.Parallelism = workers
+	cfgn.Cache = opts.Cache
+	return cfgn
+}
 
 // Candidate is one ranked intermediate-taint-source candidate.
 type Candidate struct {
@@ -98,6 +112,12 @@ type TargetResult struct {
 	Candidates []Candidate // descending score
 
 	target *loader.Target
+	// Scan memoization context: the cache the analysis ran with, the
+	// target's content hash, and the model configuration label. Zero values
+	// disable alert caching.
+	cache    *Cache
+	hash     modelcache.Hash
+	modelCfg string
 }
 
 // TopCandidates returns the k best-ranked candidates.
@@ -153,14 +173,12 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 		SkipResolver: opts.SkipIndirectResolution,
 		Parallelism:  workers,
 		Cache:        opts.Cache,
+		Prev:         opts.prev,
 	})
 	if err != nil {
 		return nil, err
 	}
-	cfgn := infer.DefaultConfig()
-	cfgn.Metric = opts.Metric
-	cfgn.Parallelism = workers
-	cfgn.Cache = opts.Cache
+	cfgn := inferConfig(opts, workers)
 	out := &Result{
 		Vendor:  res.Image.Vendor,
 		Product: res.Image.Product,
@@ -173,7 +191,10 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 		if err != nil {
 			return err
 		}
-		tr := &TargetResult{Path: t.Path, Binary: r.Binary, NumFuncs: r.NumFuncs, target: t}
+		tr := &TargetResult{
+			Path: t.Path, Binary: r.Binary, NumFuncs: r.NumFuncs,
+			target: t, cache: opts.Cache, hash: t.Hash, modelCfg: t.ModelConfig,
+		}
 		for _, e := range r.Ranked {
 			tr.Candidates = append(tr.Candidates, Candidate{Entry: e.Entry, Score: e.Score})
 		}
@@ -235,11 +256,57 @@ func (t *TargetResult) Scan(opts ScanOptions) ([]Alert, error) {
 // engine starts and again before alerts are materialized, which is the
 // granularity long-running services (fitsd) cancel at. Alerts are returned
 // in a fully deterministic order (site, function, sink, kind, source), so
-// repeated scans of one target are byte-identical.
+// repeated scans of one target are byte-identical. When the analysis ran
+// with a cache, the alert list is memoized on the target's content hash and
+// the full scan configuration, so re-scanning an unchanged binary — the
+// common case when diffing firmware versions — is a lookup.
 func (t *TargetResult) ScanContext(ctx context.Context, opts ScanOptions) ([]Alert, error) {
 	if t.target == nil {
 		return nil, fmt.Errorf("fits: target was not produced by Analyze")
 	}
+	if t.cache == nil || t.hash == (modelcache.Hash{}) {
+		return t.scan(ctx, opts)
+	}
+	key := modelcache.Key("alerts", scanSig(t.modelCfg, opts), t.hash)
+	v, _, err := t.cache.GetOrCompute(key, func() (any, int64, error) {
+		alerts, err := t.scan(ctx, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return alerts, int64(len(alerts))*96 + 64, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := v.([]Alert)
+	return append(make([]Alert, 0, len(base)), base...), nil
+}
+
+// scanSig serializes everything a scan's outcome depends on besides the
+// binary's bytes: model configuration, engine, the seeded sources, and the
+// filter. ITS entries are sorted (the engines treat them as a set); ITSOut
+// keys are sorted with their index lists kept in caller order.
+func scanSig(modelCfg string, opts ScanOptions) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "model=%s|engine=%d|sf=%t|its=", modelCfg, opts.Engine, opts.StringFilter)
+	its := append(make([]uint32, 0, len(opts.ITS)), opts.ITS...)
+	sort.Slice(its, func(i, j int) bool { return its[i] < its[j] })
+	for _, e := range its {
+		fmt.Fprintf(&sb, "%x,", e)
+	}
+	sb.WriteString("|itsout=")
+	outs := make([]uint32, 0, len(opts.ITSOut))
+	for e := range opts.ITSOut {
+		outs = append(outs, e)
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+	for _, e := range outs {
+		fmt.Fprintf(&sb, "%x:%v,", e, opts.ITSOut[e])
+	}
+	return sb.String()
+}
+
+func (t *TargetResult) scan(ctx context.Context, opts ScanOptions) ([]Alert, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

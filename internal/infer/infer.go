@@ -179,9 +179,17 @@ func cachedVectors(c *modelcache.Cache, key string, compute func() ([]bfv.Vector
 // first pass pays for extraction.
 func customVectors(ctx context.Context, t *loader.Target, cfgn Config, customs []*cfg.Function) ([]bfv.Vector, error) {
 	compute := func() ([]bfv.Vector, error) {
+		prevVecs, prevIdx, err := prevCustomVectors(ctx, t, cfgn)
+		if err != nil {
+			return nil, err
+		}
 		ex := bfv.New(t.Bin, t.Model)
 		out := make([]bfv.Vector, len(customs))
-		err := pool.ForEach(ctx, cfgn.Parallelism, len(customs), func(i int) error {
+		err = pool.ForEach(ctx, cfgn.Parallelism, len(customs), func(i int) error {
+			if j, ok := prevIdx[customs[i].Entry]; ok {
+				out[i] = prevVecs[j]
+				return nil
+			}
 			out[i] = vectorFor(cfgn.Representation, ex, t.Bin, t.Model, customs[i])
 			return nil
 		})
@@ -193,9 +201,63 @@ func customVectors(ctx context.Context, t *loader.Target, cfgn Config, customs [
 	c := vectorCache(t, cfgn)
 	key := ""
 	if c != nil {
-		key = modelcache.Key("bfv", "rep="+cfgn.Representation.String(), t.Hash)
+		key = modelcache.Key("bfv", vectorSig(t, cfgn), t.Hash)
 	}
 	return cachedVectors(c, key, compute)
+}
+
+// vectorSig is the configuration component of vector cache keys:
+// representation plus the model configuration the vectors derive from. Two
+// models of the same bytes built under different resolver settings have
+// different call graphs and therefore different vectors.
+func vectorSig(t *loader.Target, cfgn Config) string {
+	return "rep=" + cfgn.Representation.String() + "|model=" + t.ModelConfig
+}
+
+// prevCustomVectors maps custom-function entries of t to vectors already
+// extracted for its previous firmware version. Only functions the reuse plan
+// proved BFV-safe — byte-identical body, data sections, call sites and
+// callers — are mapped, and only for the paper's representation, which is
+// what the safety check covers. Both versions must have been modeled under
+// the same configuration. Returns nil maps when no reuse applies.
+func prevCustomVectors(ctx context.Context, t *loader.Target, cfgn Config) ([]bfv.Vector, map[uint32]int, error) {
+	if cfgn.Representation != RepBFV || t.Prev == nil {
+		return nil, nil, nil
+	}
+	plan := t.Prev.Plan
+	prev := t.Prev.Target
+	if plan == nil || len(plan.BFVSafe) == 0 || t.ModelConfig != prev.ModelConfig {
+		return nil, nil, nil
+	}
+	prevCustoms := prev.Model.CustomFuncs()
+	vecs, err := customVectors(ctx, prev, cfgn, prevCustoms)
+	if err != nil {
+		return nil, nil, err
+	}
+	oldIdx := make(map[uint32]int, len(prevCustoms))
+	for i, f := range prevCustoms {
+		oldIdx[f.Entry] = i
+	}
+	idx := make(map[uint32]int, len(plan.BFVSafe))
+	for entry := range plan.BFVSafe {
+		if j, ok := oldIdx[plan.FuncMap[entry]]; ok {
+			idx[entry] = j
+		}
+	}
+	return vecs, idx, nil
+}
+
+// TargetVectors returns a target's custom functions in model order together
+// with their base representation vectors (before any feature ablation). The
+// evolve package uses it to align renamed functions across firmware versions
+// by vector similarity.
+func TargetVectors(ctx context.Context, t *loader.Target, cfgn Config) ([]*cfg.Function, []bfv.Vector, error) {
+	customs := t.Model.CustomFuncs()
+	vecs, err := customVectors(ctx, t, cfgn, customs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return customs, vecs, nil
 }
 
 // anchorVectors extracts representation vectors for every anchor
@@ -221,10 +283,38 @@ func anchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([]bfv.Ve
 	for _, name := range libs {
 		hashes = append(hashes, t.LibHashes[name])
 	}
-	key := modelcache.Key("anchors", "rep="+cfgn.Representation.String(), hashes...)
+	key := modelcache.Key("anchors", vectorSig(t, cfgn), hashes...)
 	return cachedVectors(c, key, func() ([]bfv.Vector, error) {
+		if prev, ok := prevAnchorsReusable(t, cfgn); ok {
+			return anchorVectors(ctx, prev, cfgn)
+		}
 		return extractAnchorVectors(ctx, t, cfgn)
 	})
+}
+
+// prevAnchorsReusable reports whether the previous version's anchor vectors
+// are provably identical to what extraction would produce for t: same
+// libraries byte-for-byte, same model configuration, and — for BFV, whose
+// anchor features fold in target-side call sites — an unchanged import-site
+// profile as established by the reuse plan.
+func prevAnchorsReusable(t *loader.Target, cfgn Config) (*loader.Target, bool) {
+	if t.Prev == nil {
+		return nil, false
+	}
+	prev := t.Prev.Target
+	if t.ModelConfig != prev.ModelConfig || len(t.LibHashes) != len(prev.LibHashes) {
+		return nil, false
+	}
+	//fitslint:ignore maporder order-independent: returns false iff any entry mismatches, same verdict in every order
+	for name, h := range t.LibHashes {
+		if h == (modelcache.Hash{}) || prev.LibHashes[name] != h {
+			return nil, false
+		}
+	}
+	if cfgn.Representation == RepBFV && (t.Prev.Plan == nil || !t.Prev.Plan.AnchorsSafe) {
+		return nil, false
+	}
+	return prev, true
 }
 
 func extractAnchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([]bfv.Vector, error) {
@@ -326,8 +416,66 @@ func InferTarget(t *loader.Target, cfgn Config) *Ranking {
 // loop — fans out across cfgn.Parallelism goroutines, the context is checked
 // before each function, and results assemble in function order, so the
 // ranking is byte-identical at every worker count. The only error returned
-// is the context's.
+// is the context's. With a cache the whole ranking is memoized on the
+// target's and its libraries' content hashes plus every variant knob, so
+// re-analyzing unchanged binaries — the common case in evolution diffs —
+// skips clustering and scoring entirely.
 func InferTargetContext(ctx context.Context, t *loader.Target, cfgn Config) (*Ranking, error) {
+	c := vectorCache(t, cfgn)
+	if c == nil {
+		return inferTarget(ctx, t, cfgn)
+	}
+	libs := make([]string, 0, len(t.LibHashes))
+	for name := range t.LibHashes {
+		libs = append(libs, name)
+	}
+	sort.Strings(libs)
+	hashes := make([]modelcache.Hash, 0, len(libs)+1)
+	hashes = append(hashes, t.Hash)
+	for _, name := range libs {
+		hashes = append(hashes, t.LibHashes[name])
+	}
+	sig := fmt.Sprintf("%s|strategy=%s|metric=%s|drop=%d|eps=%g|minpts=%d|pca=%d",
+		vectorSig(t, cfgn), cfgn.Strategy, cfgn.Metric, cfgn.DropFeature,
+		cfgn.DBSCAN.Eps, cfgn.DBSCAN.MinPts, cfgn.PCAComponents)
+	v, _, err := c.GetOrCompute(modelcache.Key("ranking", sig, hashes...), func() (any, int64, error) {
+		r, err := inferTarget(ctx, t, cfgn)
+		if err != nil {
+			return nil, 0, err
+		}
+		core := rankingCore{
+			Ranked:        r.Ranked,
+			NumFuncs:      r.NumFuncs,
+			NumCandidates: r.NumCandidates,
+			NumAnchors:    r.NumAnchors,
+		}
+		return core, int64(len(r.Ranked))*16 + 64, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	core := v.(rankingCore)
+	return &Ranking{
+		Path:          t.Path,
+		Binary:        t.Bin.Name,
+		Ranked:        append(make([]score.Ranked, 0, len(core.Ranked)), core.Ranked...),
+		NumFuncs:      core.NumFuncs,
+		NumCandidates: core.NumCandidates,
+		NumAnchors:    core.NumAnchors,
+	}, nil
+}
+
+// rankingCore is the cacheable part of a Ranking: everything except the
+// path, which is a property of the image layout rather than the binary's
+// content and is filled in fresh on every cache hit.
+type rankingCore struct {
+	Ranked        []score.Ranked
+	NumFuncs      int
+	NumCandidates int
+	NumAnchors    int
+}
+
+func inferTarget(ctx context.Context, t *loader.Target, cfgn Config) (*Ranking, error) {
 	customs := t.Model.CustomFuncs()
 	base, err := customVectors(ctx, t, cfgn, customs)
 	if err != nil {

@@ -55,6 +55,29 @@ type Target struct {
 	// them to address derived artifacts (feature vectors) by content.
 	Hash      modelcache.Hash
 	LibHashes map[string]modelcache.Hash
+	// ModelConfig is the configuration label under which the model was built
+	// ("ucse=1"/"ucse=0"); derived-artifact cache keys include it so that
+	// models built with different resolver settings never share vectors.
+	ModelConfig string
+	// Prev links this target to its previous-version counterpart when the
+	// load ran with Options.Prev; nil otherwise.
+	Prev *PrevTarget
+}
+
+// PrevTarget is the previous-version context of a target: the old target
+// (matched by path) plus what the incremental build learned about the pair.
+type PrevTarget struct {
+	// Target is the old-version target at the same filesystem path.
+	Target *Target
+	// Plan is the reuse plan that guided the incremental model build; nil
+	// when the binaries are identical or the new model came from the cache.
+	Plan *cfg.ReusePlan
+	// Identical reports the two binaries are byte-identical (equal content
+	// hashes), the strongest reuse tier.
+	Identical bool
+	// CachedModel reports the new model was served whole from the cache, so
+	// no incremental build ran.
+	CachedModel bool
 }
 
 // AnchorEntries returns (library name, export address) pairs for every
@@ -98,6 +121,14 @@ type Options struct {
 	// configuration. Cached values are shared read-only; concurrent loads of
 	// the same content deduplicate the build. Nil disables caching.
 	Cache *modelcache.Cache
+	// Prev supplies the targets of a previous firmware version. A target at
+	// the same path guides the new model build: unchanged or uniformly
+	// shifted functions are replayed from the old model instead of being
+	// recovered from scratch, and the resulting Target.Prev records what was
+	// reused so later stages can skip redundant work. Requires Cache (the
+	// reuse bookkeeping rides on content hashes); ignored without one. The
+	// output remains byte-identical to a cold load.
+	Prev []*Target
 }
 
 // executableDirs are filesystem locations treated as holding executables.
@@ -243,10 +274,19 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		name string // diagnostic label: path for targets, file name for libs
 		bin  *binimg.Binary
 		hash modelcache.Hash
+		prev *Target // previous-version counterpart, targets only
+	}
+	prevByPath := map[string]*Target{}
+	if opts.Cache != nil {
+		for _, pt := range opts.Prev {
+			if pt != nil && pt.Bin != nil && pt.Model != nil {
+				prevByPath[pt.Path] = pt
+			}
+		}
 	}
 	jobs := make([]job, 0, len(targetPaths)+len(libNames))
 	for _, p := range targetPaths {
-		jobs = append(jobs, job{name: p, bin: bins[p], hash: hashes[p]})
+		jobs = append(jobs, job{name: p, bin: bins[p], hash: hashes[p], prev: prevByPath[p]})
 	}
 	for _, name := range libNames {
 		jobs = append(jobs, job{name: name, bin: libByName[name], hash: libHashByName[name]})
@@ -256,6 +296,8 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		modelCfg = "ucse=0"
 	}
 	models := make([]*cfg.Model, len(jobs))
+	plans := make([]*cfg.ReusePlan, len(jobs))
+	cachedModel := make([]bool, len(jobs))
 	var reused atomic.Int64
 	err := pool.ForEach(ctx, opts.Parallelism, len(jobs), func(i int) error {
 		if opts.Cache == nil {
@@ -269,7 +311,22 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		v, hit, err := opts.Cache.GetOrCompute(
 			modelcache.Key("model", modelCfg, jobs[i].hash),
 			func() (any, int64, error) {
-				m, err := cfg.Build(jobs[i].bin, cfgOpts)
+				buildOpts := cfgOpts
+				// A changed previous version guides the build; an identical
+				// one never reaches this closure (same hash, same key, so the
+				// old model is already cached under it).
+				if prev := jobs[i].prev; prev != nil && prev.Hash != jobs[i].hash {
+					plan := cfg.NewReusePlan(prev.Bin, prev.Model, jobs[i].bin)
+					buildOpts.FuncSource = plan.Source
+					m, err := cfg.Build(jobs[i].bin, buildOpts)
+					if err != nil {
+						return nil, 0, err
+					}
+					plan.Finalize(m)
+					plans[i] = plan
+					return m, modelCost(jobs[i].bin), nil
+				}
+				m, err := cfg.Build(jobs[i].bin, buildOpts)
 				if err != nil {
 					return nil, 0, err
 				}
@@ -280,6 +337,17 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		}
 		if hit {
 			reused.Add(1)
+			cachedModel[i] = true
+			// The model came from the cache, so no plan guided its build;
+			// align one against it anyway (validation only, no relift) so
+			// function pairing and reuse accounting match what a cache-miss
+			// load would have recorded.
+			if prev := jobs[i].prev; prev != nil && prev.Hash != jobs[i].hash && plans[i] == nil {
+				plan := cfg.NewReusePlan(prev.Bin, prev.Model, jobs[i].bin)
+				plan.Align(v.(*cfg.Model))
+				plan.Finalize(v.(*cfg.Model))
+				plans[i] = plan
+			}
 		}
 		models[i] = v.(*cfg.Model)
 		return nil
@@ -297,14 +365,23 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 	for i, p := range targetPaths {
 		b := bins[p]
 		t := &Target{
-			Path:      p,
-			Bin:       b,
-			Model:     models[i],
-			Libs:      map[string]*binimg.Binary{},
-			LibModels: map[string]*cfg.Model{},
-			Anchors:   map[string]int{},
-			Hash:      hashes[p],
-			LibHashes: map[string]modelcache.Hash{},
+			Path:        p,
+			Bin:         b,
+			Model:       models[i],
+			Libs:        map[string]*binimg.Binary{},
+			LibModels:   map[string]*cfg.Model{},
+			Anchors:     map[string]int{},
+			Hash:        hashes[p],
+			LibHashes:   map[string]modelcache.Hash{},
+			ModelConfig: modelCfg,
+		}
+		if pt := jobs[i].prev; pt != nil {
+			t.Prev = &PrevTarget{
+				Target:      pt,
+				Plan:        plans[i],
+				Identical:   pt.Hash == t.Hash,
+				CachedModel: cachedModel[i],
+			}
 		}
 		for _, need := range b.Needed {
 			lib, ok := libByName[need]

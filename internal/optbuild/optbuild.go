@@ -182,6 +182,26 @@ func (s *Spec) AnalyzeOptions(cache *fits.Cache) (fits.Options, error) {
 	return opts, nil
 }
 
+// DiffOptions translates the spec into evolution-diff options. A diff
+// always scans both versions, so Scan and SeedITS are irrelevant here; the
+// engine, filter and top-K knobs carry over directly.
+func (s *Spec) DiffOptions(cache *fits.Cache) (fits.DiffOptions, error) {
+	aopts, err := s.AnalyzeOptions(cache)
+	if err != nil {
+		return fits.DiffOptions{}, err
+	}
+	engine, err := s.EngineValue()
+	if err != nil {
+		return fits.DiffOptions{}, err
+	}
+	return fits.DiffOptions{
+		Options:      aopts,
+		TopK:         s.TopK,
+		Engine:       engine,
+		StringFilter: *s.StringFilter,
+	}, nil
+}
+
 // ScanOptions translates the spec into scan options for one analyzed
 // target, seeding its top-K candidates when SeedITS is set.
 func (s *Spec) ScanOptions(t *fits.TargetResult) (fits.ScanOptions, error) {

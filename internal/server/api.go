@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fits"
+	"fits/internal/evolve"
 	"fits/internal/optbuild"
 )
 
@@ -31,6 +32,10 @@ func TerminalState(s string) bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// KindDiff marks a job submitted via POST /v1/diffs. Plain analysis jobs
+// have an empty kind.
+const KindDiff = "diff"
+
 // SubmitRequest is the JSON body of POST /v1/jobs. Exactly one of Firmware
 // (base64 image bytes) and Path (a file readable by the server process)
 // must be set. A raw application/octet-stream body is the shorthand for
@@ -39,6 +44,17 @@ type SubmitRequest struct {
 	Firmware []byte        `json:"firmware,omitempty"`
 	Path     string        `json:"path,omitempty"`
 	Options  optbuild.Spec `json:"options"`
+}
+
+// DiffSubmitRequest is the JSON body of POST /v1/diffs. Each side names its
+// firmware exactly one way: inline base64 bytes or a path readable by the
+// server process. The two sides may mix transports.
+type DiffSubmitRequest struct {
+	OldFirmware []byte        `json:"old_firmware,omitempty"`
+	NewFirmware []byte        `json:"new_firmware,omitempty"`
+	OldPath     string        `json:"old_path,omitempty"`
+	NewPath     string        `json:"new_path,omitempty"`
+	Options     optbuild.Spec `json:"options"`
 }
 
 // SubmitResponse is the 202 body of POST /v1/jobs.
@@ -58,8 +74,10 @@ type CacheDelta struct {
 
 // JobStatus is one job as reported by GET /v1/jobs and GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID          string        `json:"id"`
-	State       string        `json:"state"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Kind is "diff" for evolution diffs, empty for plain analyses.
+	Kind        string        `json:"kind,omitempty"`
 	SHA256      string        `json:"sha256"`
 	SizeBytes   int           `json:"size_bytes"`
 	Options     optbuild.Spec `json:"options"`
@@ -125,12 +143,78 @@ type AlertReport struct {
 	Source string `json:"source"`
 }
 
+// DiffJobResult is the stable result of one evolution diff. Like JobResult
+// it is byte-stable: all orders are deterministic and no wall-clock values
+// appear, so resubmitting the same version pair yields identical bytes.
+type DiffJobResult struct {
+	Vendor     string `json:"vendor"`
+	Product    string `json:"product"`
+	OldVersion string `json:"old_version"`
+	NewVersion string `json:"new_version"`
+	// ReusedFuncs / TotalFuncs count the new version's functions whose
+	// analysis was carried over from the old version.
+	ReusedFuncs     int                `json:"reused_funcs"`
+	TotalFuncs      int                `json:"total_funcs"`
+	ReuseRatio      float64            `json:"reuse_ratio"`
+	AlertsAppeared  int                `json:"alerts_appeared"`
+	AlertsFixed     int                `json:"alerts_fixed"`
+	AlertsPersisted int                `json:"alerts_persisted"`
+	ITSAppeared     int                `json:"its_appeared"`
+	ITSFixed        int                `json:"its_fixed"`
+	ITSPersisted    int                `json:"its_persisted"`
+	Targets         []DiffTargetReport `json:"targets"`
+}
+
+// DiffTargetReport is the per-binary slice of a DiffJobResult.
+type DiffTargetReport struct {
+	Path              string            `json:"path"`
+	MatchedIdentical  int               `json:"matched_identical"`
+	MatchedReuse      int               `json:"matched_reuse"`
+	MatchedName       int               `json:"matched_name"`
+	MatchedSimilarity int               `json:"matched_similarity"`
+	UnmatchedNew      int               `json:"unmatched_new"`
+	UnmatchedOld      int               `json:"unmatched_old"`
+	Renames           []RenameReport    `json:"renames,omitempty"`
+	Appeared          []DiffAlertReport `json:"appeared"`
+	Fixed             []DiffAlertReport `json:"fixed"`
+	Persisted         []DiffAlertReport `json:"persisted"`
+}
+
+// RenameReport is one function rename recovered by the similarity fallback.
+type RenameReport struct {
+	OldName    string  `json:"old_name"`
+	NewName    string  `json:"new_name"`
+	OldEntry   uint32  `json:"old_entry"`
+	NewEntry   uint32  `json:"new_entry"`
+	Similarity float64 `json:"similarity"`
+}
+
+// DiffAlertReport is one churned or persisted alert, in the coordinates of
+// the version it exists in (new for appeared/persisted, old for fixed).
+type DiffAlertReport struct {
+	Binary string `json:"binary"`
+	Site   uint32 `json:"site"`
+	Func   uint32 `json:"func"`
+	Sink   string `json:"sink"`
+	Kind   string `json:"kind"`
+	Source string `json:"source"`
+}
+
 // RunOutput is what a Runner hands back for a completed job.
 type RunOutput struct {
 	// ResultJSON is the marshaled JobResult; it is stored and served
 	// verbatim, so equal inputs must produce equal bytes.
 	ResultJSON []byte
 	Cache      CacheDelta
+	// Diff carries the reuse ratio and stage timings of a diff job, for
+	// metrics only — never part of ResultJSON, which must stay byte-stable.
+	Diff *DiffStats
+}
+
+// DiffStats is the diagnostic slice of a finished diff job.
+type DiffStats struct {
+	ReuseRatio float64
+	Timings    fits.DiffStageTimings
 }
 
 // Runner executes one job. The default is DefaultRunner; tests substitute
@@ -190,4 +274,83 @@ func DefaultRunner(ctx context.Context, raw []byte, spec optbuild.Spec, cache *f
 		ResultJSON: b,
 		Cache:      CacheDelta{Lifted: res.Cache.Lifted, Reused: res.Cache.Reused},
 	}, nil
+}
+
+// DiffRunner executes one diff job. The default is DefaultDiffRunner.
+type DiffRunner func(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error)
+
+// DefaultDiffRunner runs the evolution pipeline: both versions are analyzed
+// and scanned, the new one incrementally against the old, and the churn
+// report is rendered as a DiffJobResult.
+func DefaultDiffRunner(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error) {
+	dopts, err := spec.DiffOptions(cache)
+	if err != nil {
+		return nil, err
+	}
+	d, err := fits.DiffContext(ctx, oldRaw, newRaw, dopts)
+	if err != nil {
+		return nil, err
+	}
+	r := d.Report
+	jr := DiffJobResult{
+		Vendor:          d.New.Vendor,
+		Product:         d.New.Product,
+		OldVersion:      d.Old.Version,
+		NewVersion:      d.New.Version,
+		ReusedFuncs:     r.ReusedFuncs,
+		TotalFuncs:      r.TotalFuncs,
+		ReuseRatio:      r.ReuseRatio,
+		AlertsAppeared:  r.AlertsAppeared,
+		AlertsFixed:     r.AlertsFixed,
+		AlertsPersisted: r.AlertsPersisted,
+		ITSAppeared:     r.ITSAppeared,
+		ITSFixed:        r.ITSFixed,
+		ITSPersisted:    r.ITSPersisted,
+		Targets:         make([]DiffTargetReport, 0, len(r.Targets)),
+	}
+	for _, td := range r.Targets {
+		tr := DiffTargetReport{
+			Path:              td.Path,
+			MatchedIdentical:  td.MatchedIdentical,
+			MatchedReuse:      td.MatchedReuse,
+			MatchedName:       td.MatchedName,
+			MatchedSimilarity: td.MatchedSimilarity,
+			UnmatchedNew:      td.UnmatchedNew,
+			UnmatchedOld:      td.UnmatchedOld,
+			Appeared:          diffAlertReports(td.Appeared),
+			Fixed:             diffAlertReports(td.Fixed),
+			Persisted:         diffAlertReports(td.Persisted),
+		}
+		for _, rn := range td.Renames {
+			tr.Renames = append(tr.Renames, RenameReport{
+				OldName: rn.OldName, NewName: rn.NewName,
+				OldEntry: rn.OldEntry, NewEntry: rn.NewEntry,
+				Similarity: rn.Similarity,
+			})
+		}
+		jr.Targets = append(jr.Targets, tr)
+	}
+	b, err := json.Marshal(jr)
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutput{
+		ResultJSON: b,
+		Cache: CacheDelta{
+			Lifted: d.Old.Cache.Lifted + d.New.Cache.Lifted,
+			Reused: d.Old.Cache.Reused + d.New.Cache.Reused,
+		},
+		Diff: &DiffStats{ReuseRatio: r.ReuseRatio, Timings: d.Timings},
+	}, nil
+}
+
+func diffAlertReports(alerts []evolve.Alert) []DiffAlertReport {
+	out := make([]DiffAlertReport, 0, len(alerts))
+	for _, a := range alerts {
+		out = append(out, DiffAlertReport{
+			Binary: a.Binary, Site: a.Site, Func: a.Func,
+			Sink: a.Sink, Kind: a.Kind, Source: a.Source,
+		})
+	}
+	return out
 }

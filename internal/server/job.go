@@ -18,11 +18,13 @@ type Job struct {
 	seq  uint64
 	sha  string
 	size int
+	kind string // "" for analysis, KindDiff for evolution diffs; immutable
 	spec optbuild.Spec
 
 	mu        sync.Mutex
 	state     string    // guarded by mu
 	raw       []byte    // firmware bytes; dropped once the job is terminal; guarded by mu
+	raw2      []byte    // diff jobs only: the new version's bytes; guarded by mu
 	submitted time.Time // guarded by mu
 	started   time.Time // guarded by mu
 	finished  time.Time // guarded by mu
@@ -39,13 +41,14 @@ type Job struct {
 // start transitions queued → running and derives the job context: the
 // server base context, capped by the server job timeout and the job's own
 // requested timeout. The firmware bytes are handed out under the lock so
-// the worker never touches j.raw unlocked. It returns false (and no
-// context) when the job was canceled while queued.
-func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.Time) (context.Context, []byte, bool) {
+// the worker never touches j.raw or j.raw2 unlocked; raw2 is nil except for
+// diff jobs. It returns false (and no context) when the job was canceled
+// while queued.
+func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.Time) (context.Context, []byte, []byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	var ctx context.Context
 	var cancel context.CancelFunc
@@ -62,7 +65,7 @@ func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.
 	j.state = StateRunning
 	j.started = now
 	j.cancel = cancel
-	return ctx, j.raw, true
+	return ctx, j.raw, j.raw2, true
 }
 
 // finish records the runner outcome and classifies the terminal state,
@@ -76,6 +79,7 @@ func (j *Job) finish(out *RunOutput, err error, now time.Time) (state string, el
 		j.cancel = nil
 	}
 	j.raw = nil
+	j.raw2 = nil
 	j.finished = now
 	switch {
 	case err == nil:
@@ -110,6 +114,7 @@ func (j *Job) requestCancel(now time.Time) (terminalNow, ok bool) {
 		j.cancelRequested = true
 		j.finished = now
 		j.raw = nil
+		j.raw2 = nil
 		return true, true
 	case StateRunning:
 		j.cancelRequested = true
@@ -138,6 +143,7 @@ func (j *Job) Snapshot(includeResult bool) JobStatus {
 	s := JobStatus{
 		ID:          j.id,
 		State:       j.state,
+		Kind:        j.kind,
 		SHA256:      j.sha,
 		SizeBytes:   j.size,
 		Options:     j.spec,

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"strings"
@@ -69,6 +70,9 @@ type Config struct {
 	// Runner replaces the analysis pipeline (default DefaultRunner);
 	// tests inject stubs to exercise queueing and drain.
 	Runner Runner
+	// DiffRunner replaces the evolution-diff pipeline behind POST /v1/diffs
+	// (default DefaultDiffRunner).
+	DiffRunner DiffRunner
 	// Logf receives one line per job transition; nil silences logging.
 	Logf func(format string, args ...any)
 }
@@ -91,6 +95,9 @@ func (c *Config) fill() {
 	}
 	if c.Runner == nil {
 		c.Runner = DefaultRunner
+	}
+	if c.DiffRunner == nil {
+		c.DiffRunner = DefaultDiffRunner
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -126,6 +133,11 @@ type Server struct {
 	gRunning   *Gauge
 	hDuration  *Histogram
 
+	// diffReuse holds the float64 bits of the last completed diff's
+	// function-reuse ratio, exported as fits_diff_reuse_ratio.
+	diffReuse  atomic.Uint64
+	hDiffStage map[string]*Histogram
+
 	now func() time.Time
 }
 
@@ -158,6 +170,19 @@ func New(cfg Config) *Server {
 		func() float64 { _, _, ev := s.store.counts(); return float64(ev) })
 	s.hDuration = s.reg.Histogram("fitsd_job_duration_seconds", "Run duration of finished jobs.",
 		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
+	s.reg.GaugeFunc("fits_diff_reuse_ratio", "Function-reuse ratio of the most recently completed diff job.",
+		func() float64 { return math.Float64frombits(s.diffReuse.Load()) })
+	s.hDiffStage = map[string]*Histogram{}
+	for _, st := range [...]struct{ name, help string }{
+		{"analyze_old", "Diff stage: analysis of the old version."},
+		{"scan_old", "Diff stage: taint scan of the old version."},
+		{"analyze_new", "Diff stage: incremental analysis of the new version."},
+		{"scan_new", "Diff stage: taint scan of the new version."},
+		{"align", "Diff stage: function alignment and churn computation."},
+	} {
+		s.hDiffStage[st.name] = s.reg.Histogram("fitsd_diff_"+st.name+"_seconds", st.help,
+			0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30)
+	}
 	if c := cfg.Cache; c != nil {
 		s.reg.CounterFunc("fitsd_model_cache_hits_total", "Model cache hits.",
 			func() float64 { return float64(c.Stats().Hits) })
@@ -183,6 +208,7 @@ func New(cfg Config) *Server {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/diffs", s.handleSubmitDiff)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -227,7 +253,7 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *Job) {
-	ctx, raw, ok := j.start(s.baseCtx, s.cfg.JobTimeout, s.now())
+	ctx, raw, raw2, ok := j.start(s.baseCtx, s.cfg.JobTimeout, s.now())
 	if !ok {
 		// Canceled while queued; already terminal and counted.
 		return
@@ -235,7 +261,13 @@ func (s *Server) runJob(j *Job) {
 	s.running.Store(j.id, j)
 	s.gRunning.Add(1)
 	s.cfg.Logf("job %s: running (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
-	out, err := s.cfg.Runner(ctx, raw, j.spec, s.cfg.Cache)
+	var out *RunOutput
+	var err error
+	if j.kind == KindDiff {
+		out, err = s.cfg.DiffRunner(ctx, raw, raw2, j.spec, s.cfg.Cache)
+	} else {
+		out, err = s.cfg.Runner(ctx, raw, j.spec, s.cfg.Cache)
+	}
 	state, elapsed := j.finish(out, err, s.now())
 	s.gRunning.Add(-1)
 	s.running.Delete(j.id)
@@ -243,6 +275,9 @@ func (s *Server) runJob(j *Job) {
 	switch state {
 	case StateDone:
 		s.mCompleted.Inc()
+		if out != nil && out.Diff != nil {
+			s.observeDiff(out.Diff)
+		}
 	case StateCanceled:
 		s.mCanceled.Inc()
 	default:
@@ -250,6 +285,16 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.cfg.Logf("job %s: %s after %s", j.id, state, elapsed.Round(time.Millisecond))
 	s.store.markTerminal(j)
+}
+
+// observeDiff folds one completed diff's diagnostics into the metrics.
+func (s *Server) observeDiff(d *DiffStats) {
+	s.diffReuse.Store(math.Float64bits(d.ReuseRatio))
+	s.hDiffStage["analyze_old"].Observe(d.Timings.AnalyzeOld.Seconds())
+	s.hDiffStage["scan_old"].Observe(d.Timings.ScanOld.Seconds())
+	s.hDiffStage["analyze_new"].Observe(d.Timings.AnalyzeNew.Seconds())
+	s.hDiffStage["scan_new"].Observe(d.Timings.ScanNew.Seconds())
+	s.hDiffStage["align"].Observe(d.Timings.Align.Seconds())
 }
 
 // janitor periodically sweeps expired results so memory is reclaimed even
@@ -363,6 +408,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		raw:       raw,
 		submitted: s.now(),
 	}
+	s.accept(w, j)
+}
+
+// handleSubmitDiff accepts an evolution-diff job: two firmware versions,
+// analyzed incrementally and reported as alert/ITS churn. It shares the
+// queue, store and backpressure of plain jobs.
+func (s *Server) handleSubmitDiff(w http.ResponseWriter, r *http.Request) {
+	s.qmu.Lock()
+	draining := s.draining
+	s.qmu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	oldRaw, newRaw, spec, err := s.readDiffSubmission(r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("firmware exceeds the %d byte upload limit", mbe.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The pair identity hashes both sides separately so ("ab","c") and
+	// ("a","bc") cannot collide.
+	oldSum := sha256.Sum256(oldRaw)
+	newSum := sha256.Sum256(newRaw)
+	pair := sha256.Sum256(append(oldSum[:], newSum[:]...))
+	seq := s.seq.Add(1)
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", seq),
+		seq:       seq,
+		sha:       hex.EncodeToString(pair[:]),
+		size:      len(oldRaw) + len(newRaw),
+		kind:      KindDiff,
+		spec:      spec,
+		state:     StateQueued,
+		raw:       oldRaw,
+		raw2:      newRaw,
+		submitted: s.now(),
+	}
+	s.accept(w, j)
+}
+
+// accept stores and enqueues a prepared job, writing the 202 (or the
+// backpressure refusal) to w.
+func (s *Server) accept(w http.ResponseWriter, j *Job) {
 	s.store.add(j)
 	if err := s.enqueue(j); err != nil {
 		s.store.remove(j.id)
@@ -424,6 +522,48 @@ func (s *Server) readSubmission(r *http.Request) ([]byte, optbuild.Spec, error) 
 		return nil, spec, errors.New("empty firmware body")
 	}
 	return raw, spec, nil
+}
+
+// readDiffSubmission decodes the two firmware versions and options of a
+// diff request. Unlike plain submissions there is no raw-body shorthand:
+// the envelope is the only way to name two images.
+func (s *Server) readDiffSubmission(r *http.Request) (oldRaw, newRaw []byte, spec optbuild.Spec, err error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes)
+	defer body.Close()
+	var req DiffSubmitRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, spec, fmt.Errorf("invalid diff request: %w", err)
+	}
+	spec = req.Options
+	if oldRaw, err = s.sideBytes(req.OldFirmware, req.OldPath, "old"); err != nil {
+		return nil, nil, spec, err
+	}
+	if newRaw, err = s.sideBytes(req.NewFirmware, req.NewPath, "new"); err != nil {
+		return nil, nil, spec, err
+	}
+	return oldRaw, newRaw, spec, nil
+}
+
+// sideBytes resolves one side of a diff request to firmware bytes.
+func (s *Server) sideBytes(fw []byte, path, side string) ([]byte, error) {
+	switch {
+	case len(fw) > 0 && path != "":
+		return nil, fmt.Errorf("set exactly one of %q and %q", side+"_firmware", side+"_path")
+	case len(fw) > 0:
+		return fw, nil
+	case path != "":
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s firmware path: %v", side, err)
+		}
+		if int64(len(raw)) > s.cfg.MaxUploadBytes {
+			return nil, fmt.Errorf("firmware at %s exceeds the %d byte limit", path, s.cfg.MaxUploadBytes)
+		}
+		return raw, nil
+	}
+	return nil, fmt.Errorf("set one of %q (base64 bytes) and %q", side+"_firmware", side+"_path")
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -33,6 +33,9 @@ type appResult struct {
 	Prog     *minic.Program
 	ITSNames []string
 	Handlers []HandlerTruth // Entry filled later
+	// FetchVariant is the keyed-fetch body shape the ITS functions use;
+	// evolution chains need it to refactor an ITS into a different shape.
+	FetchVariant int
 }
 
 // Request field keys seen in device web interfaces.
@@ -139,6 +142,7 @@ func buildApp(r *rand.Rand, knobs appKnobs) appResult {
 	b.fillerForest()
 	b.mainFunc()
 	b.res.Prog = b.p
+	b.res.FetchVariant = b.fetchVariant
 	return b.res
 }
 

@@ -1,0 +1,571 @@
+package synth
+
+// Version-chain generation for evolution analysis: a chain is a sequence of
+// firmware versions of the same product, each derived from the previous one
+// by a single realistic maintenance edit — a tuned constant, a patched bug, a
+// refactored fetch function, an added vendor feature, or a renamed export.
+// Every version carries a full ground-truth manifest, and every step records
+// exactly which alerts must appear and disappear across it, so that delta
+// analysis can be scored mechanically.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fits/internal/firmware"
+	"fits/internal/isa"
+	"fits/internal/minic"
+)
+
+// ChainStepKind names one evolution edit.
+type ChainStepKind uint8
+
+// Chain step kinds.
+const (
+	// StepTuneConst bumps one loop-bound immediate in a filler function:
+	// a code change with no analysis-visible effect, the minimal-churn case.
+	StepTuneConst ChainStepKind = iota
+	// StepPatchBug rewrites a shallow vulnerable handler into the sanitized
+	// shape, fixing its alert.
+	StepPatchBug
+	// StepRefactorITS swaps the keyed fetch function's body for a different
+	// structural variant of the same behaviour; no alert churn, but the
+	// function can no longer be structurally matched across versions.
+	StepRefactorITS
+	// StepAddFeature adds a new vulnerable handler wired into the dispatch
+	// table, introducing a new alert.
+	StepAddFeature
+	// StepRenameExport renames the exported handler and perturbs its body,
+	// exercising the similarity-fallback alignment path.
+	StepRenameExport
+)
+
+func (k ChainStepKind) String() string {
+	switch k {
+	case StepTuneConst:
+		return "tune-const"
+	case StepPatchBug:
+		return "patch-bug"
+	case StepRefactorITS:
+		return "refactor-its"
+	case StepAddFeature:
+		return "add-feature"
+	case StepRenameExport:
+		return "rename-export"
+	}
+	return "unknown"
+}
+
+// ExpectedAlert identifies one alert by its stable coordinates: the binary,
+// the function containing the sink call (by ground-truth name), and the sink.
+type ExpectedAlert struct {
+	Binary       string
+	SinkFuncName string
+	Sink         string
+}
+
+// ChainStep describes the edit between two consecutive versions and the alert
+// churn it must cause.
+type ChainStep struct {
+	Kind ChainStepKind
+	Desc string
+	// Appeared/Fixed list the alerts that must be new in / gone from the
+	// later version.
+	Appeared []ExpectedAlert
+	Fixed    []ExpectedAlert
+	// RenamedFrom/RenamedTo record the function pair a rename step aligned.
+	RenamedFrom, RenamedTo string
+}
+
+// ChainSpec specifies one version chain.
+type ChainSpec struct {
+	Seed  int64
+	Steps []ChainStepKind
+}
+
+// Chain is a generated version chain: len(Steps)+1 versions, where Steps[i]
+// transformed Versions[i] into Versions[i+1].
+type Chain struct {
+	Versions []*Sample
+	Steps    []ChainStep
+}
+
+// ChainDataset returns the standard chain specifications used by the
+// differential and churn test suites: one chain per step kind plus a combined
+// multi-step chain.
+func ChainDataset() []ChainSpec {
+	return []ChainSpec{
+		{Seed: 7001, Steps: []ChainStepKind{StepTuneConst}},
+		{Seed: 7002, Steps: []ChainStepKind{StepPatchBug}},
+		{Seed: 7003, Steps: []ChainStepKind{StepRefactorITS}},
+		{Seed: 7004, Steps: []ChainStepKind{StepAddFeature}},
+		{Seed: 7005, Steps: []ChainStepKind{StepRenameExport}},
+		{Seed: 7006, Steps: []ChainStepKind{
+			StepTuneConst, StepPatchBug, StepAddFeature, StepRenameExport, StepRefactorITS,
+		}},
+	}
+}
+
+// chainBuilder mutates one program across versions while keeping the
+// name-level ground truth in step.
+type chainBuilder struct {
+	prog     *minic.Program
+	binName  string
+	its      []string
+	truths   []HandlerTruth
+	variant  int // current keyed-fetch body variant
+	exported string
+	diagN    int
+}
+
+// GenerateChain builds the versions of one chain. The base version uses fixed
+// generation knobs so every chain carries the same handler mix; the seed
+// varies architecture, handler order, keys and sinks.
+func GenerateChain(spec ChainSpec) (*Chain, error) {
+	r := rand.New(rand.NewSource(spec.Seed))
+	arches := []isa.Arch{isa.ArchARM, isa.ArchAARCH, isa.ArchMIPS}
+	arch := arches[r.Intn(len(arches))]
+
+	// The libc is linked, stripped and encoded once: shared libraries do not
+	// change across patch releases, which is what makes their cached models
+	// fully reusable.
+	libcBin, err := minic.Link(LibcProgram(r), arch, nil)
+	if err != nil {
+		return nil, fmt.Errorf("synth: chain libc: %w", err)
+	}
+	libcBin.Strip()
+	libcBytes := libcBin.Encode()
+
+	knobs := appKnobs{
+		Name:      "httpd",
+		RecvDepth: 3,
+		ITSCount:  1,
+		Strong:    1,
+		Weak:      2,
+		Loggers:   2,
+		Filler:    80,
+		DeepExtra: 2,
+		Handlers: map[HandlerCategory]int{
+			VulnShallow:      3,
+			VulnDeep:         1,
+			SafeSanitized:    2,
+			BenignSystemData: 2,
+			SystemKeyFetch:   1,
+			VulnRaw:          1,
+			SafeRaw:          1,
+		},
+	}
+	app := buildApp(r, knobs)
+	if len(app.ITSNames) == 0 {
+		return nil, fmt.Errorf("synth: chain app has no ITS")
+	}
+	cb := &chainBuilder{
+		prog:    app.Prog,
+		binName: knobs.Name,
+		its:     append([]string(nil), app.ITSNames...),
+		truths:  append([]HandlerTruth(nil), app.Handlers...),
+		variant: app.FetchVariant,
+	}
+	// Reserve the first shallow vulnerable handler for the rename step: it
+	// becomes a dynamic export, the anchor the name-match alignment tier
+	// loses when the rename lands.
+	for _, h := range cb.truths {
+		if h.Category == VulnShallow {
+			cb.exported = h.FuncName
+			break
+		}
+	}
+	if cb.exported == "" {
+		return nil, fmt.Errorf("synth: chain app has no shallow vulnerable handler")
+	}
+	for _, f := range cb.prog.Funcs {
+		if f.Name == cb.exported {
+			f.Exported = true
+		}
+	}
+
+	chain := &Chain{}
+	for vi := 0; ; vi++ {
+		version := fmt.Sprintf("v1.0.%d", vi)
+		sample, err := cb.emit(spec.Seed, vi, arch, version, libcBytes)
+		if err != nil {
+			return nil, err
+		}
+		chain.Versions = append(chain.Versions, sample)
+		if vi == len(spec.Steps) {
+			break
+		}
+		step, err := cb.apply(spec.Steps[vi])
+		if err != nil {
+			return nil, fmt.Errorf("synth: chain step %d (%s): %w", vi, spec.Steps[vi], err)
+		}
+		chain.Steps = append(chain.Steps, step)
+	}
+	return chain, nil
+}
+
+// emit links, records truth, strips and packs the current program state as
+// one version of the chain.
+func (cb *chainBuilder) emit(seed int64, vi int, arch isa.Arch, version string, libcBytes []byte) (*Sample, error) {
+	appBin, err := minic.Link(cb.prog, arch, []string{"libc.so"})
+	if err != nil {
+		return nil, fmt.Errorf("synth: chain app %s: %w", version, err)
+	}
+
+	binPath := "bin/" + cb.binName
+	man := Manifest{
+		Vendor:      "ChainWorks",
+		Product:     "CW-1000",
+		Version:     version,
+		Series:      "CW",
+		Arch:        arch,
+		Scheme:      firmware.SchemeNone,
+		NetBinaries: []string{binPath},
+	}
+	addrOf := map[string]uint32{}
+	for _, s := range appBin.Funcs {
+		addrOf[s.Name] = s.Addr
+	}
+	for _, fn := range cb.its {
+		man.ITS = append(man.ITS, ITSTruth{
+			Binary: cb.binName, FuncName: fn, Entry: addrOf[fn], TaintsReturn: true,
+		})
+	}
+	for _, h := range cb.truths {
+		h.Binary = cb.binName
+		h.Entry = addrOf[h.FuncName]
+		h.SinkEntry = addrOf[h.SinkFuncName]
+		man.Handlers = append(man.Handlers, h)
+	}
+
+	appBin.Strip()
+	img := &firmware.Image{
+		Vendor:  man.Vendor,
+		Product: man.Product,
+		Version: version,
+		Files: []firmware.File{
+			{Path: binPath, Data: appBin.Encode()},
+			{Path: "lib/libc.so", Data: libcBytes},
+			{Path: "etc/version", Data: []byte(version + "\n")},
+			{Path: "etc/board.info", Data: []byte(fmt.Sprintf("vendor=%s\nmodel=%s\narch=%s\n", man.Vendor, man.Product, arch))},
+			{Path: "www/index.html", Data: []byte("<html><body>" + man.Product + "</body></html>")},
+		},
+	}
+	vr := rand.New(rand.NewSource(seed*1_000_000 + int64(vi)))
+	packed := img.Pack(firmware.PackOptions{
+		Scheme:  firmware.SchemeNone,
+		Key:     vr.Uint32(),
+		Padding: 256 + vr.Intn(2048),
+		PadSeed: byte(vr.Uint32()),
+	})
+	return &Sample{Image: img, Packed: packed, Manifest: man}, nil
+}
+
+// apply performs one evolution edit in place and returns its churn record.
+func (cb *chainBuilder) apply(kind ChainStepKind) (ChainStep, error) {
+	switch kind {
+	case StepTuneConst:
+		return cb.tuneConst()
+	case StepPatchBug:
+		return cb.patchBug()
+	case StepRefactorITS:
+		return cb.refactorITS()
+	case StepAddFeature:
+		return cb.addFeature()
+	case StepRenameExport:
+		return cb.renameExport()
+	}
+	return ChainStep{}, fmt.Errorf("unknown step kind %d", kind)
+}
+
+// tuneConst bumps the loop bound of the first counting-loop filler: one Movi
+// immediate changes, nothing else moves.
+func (cb *chainBuilder) tuneConst() (ChainStep, error) {
+	for _, f := range cb.prog.Funcs {
+		if len(f.Name) < 7 || f.Name[:7] != "sub_fn_" || len(f.Body) != 4 {
+			continue
+		}
+		w, ok := f.Body[2].(minic.While)
+		if !ok || w.Cond.Op != minic.Lt {
+			continue
+		}
+		bound, ok := w.Cond.R.(minic.Int)
+		if !ok {
+			continue
+		}
+		w.Cond.R = minic.Int(int32(bound) + 1)
+		f.Body[2] = w
+		return ChainStep{
+			Kind: StepTuneConst,
+			Desc: fmt.Sprintf("bump loop bound in %s from %d to %d", f.Name, int32(bound), int32(bound)+1),
+		}, nil
+	}
+	return ChainStep{}, fmt.Errorf("no counting-loop filler found")
+}
+
+// patchBug rewrites a shallow vulnerable handler into the sanitized shape —
+// the fix a vendor security release ships.
+func (cb *chainBuilder) patchBug() (ChainStep, error) {
+	for i := range cb.truths {
+		h := &cb.truths[i]
+		if h.Category != VulnShallow || h.FuncName == cb.exported {
+			continue
+		}
+		f := cb.funcByName(h.FuncName)
+		if f == nil {
+			return ChainStep{}, fmt.Errorf("handler %s missing from program", h.FuncName)
+		}
+		fetch := minic.Call{Name: cb.its[0], Args: []minic.Expr{
+			minic.Str(h.Key), minic.GlobalRef("g_kvstore"), minic.Int(1024)}}
+		f.Body = []minic.Stmt{
+			minic.Let{Name: "val", E: fetch},
+			minic.If{Cond: minic.Cond{Op: minic.Eq, L: minic.Var("val"), R: minic.Int(0)},
+				Then: []minic.Stmt{minic.Return{E: minic.Int(0)}}},
+			minic.Let{Name: "n", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.Var("val")}}},
+			minic.If{Cond: minic.Cond{Op: minic.Lt, L: minic.Var("n"), R: minic.Int(32)},
+				Then: []minic.Stmt{sinkStmt(h.Sink, minic.Var("val"))}},
+			minic.Return{E: minic.Int(0)},
+		}
+		fixed := ExpectedAlert{Binary: cb.binName, SinkFuncName: h.SinkFuncName, Sink: h.Sink}
+		h.Category = SafeSanitized
+		return ChainStep{
+			Kind:  StepPatchBug,
+			Desc:  fmt.Sprintf("sanitize %s before %s", h.FuncName, h.Sink),
+			Fixed: []ExpectedAlert{fixed},
+		}, nil
+	}
+	return ChainStep{}, fmt.Errorf("no patchable shallow vulnerable handler left")
+}
+
+// refactorITS swaps the fetch function's body for the next structural
+// variant: same behaviour, different code shape.
+func (cb *chainBuilder) refactorITS() (ChainStep, error) {
+	f := cb.funcByName(cb.its[0])
+	if f == nil {
+		return ChainStep{}, fmt.Errorf("ITS %s missing from program", cb.its[0])
+	}
+	cb.variant = (cb.variant + 1) % 4
+	f.Body = keyedFetchBody(cb.variant)
+	return ChainStep{
+		Kind: StepRefactorITS,
+		Desc: fmt.Sprintf("rewrite %s as fetch variant %d", cb.its[0], cb.variant),
+	}, nil
+}
+
+// addFeature adds a new vulnerable handler and repoints a wraparound
+// dispatch-table slot at it, the way vendor feature drops extend existing
+// tables.
+func (cb *chainBuilder) addFeature() (ChainStep, error) {
+	var tbl *minic.Global
+	for _, g := range cb.prog.Globals {
+		if g.Name == "g_handlers" {
+			tbl = g
+		}
+	}
+	if tbl == nil {
+		return ChainStep{}, fmt.Errorf("no dispatch table")
+	}
+	// Every handler's primary slot is its table index; slots past the handler
+	// count wrap around as duplicates. Repointing the first duplicate slot
+	// wires the new handler in without unrouting an existing one.
+	slot := len(cb.chainHandlers())
+	if slot >= len(tbl.Ptrs) {
+		return ChainStep{}, fmt.Errorf("dispatch table full (%d slots)", len(tbl.Ptrs))
+	}
+	name := fmt.Sprintf("handle_diag_%d", cb.diagN)
+	cb.diagN++
+	key := "diag_cmd"
+	sink := "strcpy"
+	fetch := minic.Call{Name: cb.its[0], Args: []minic.Expr{
+		minic.Str(key), minic.GlobalRef("g_kvstore"), minic.Int(1024)}}
+	cb.prog.Funcs = append(cb.prog.Funcs, &minic.Func{
+		Name: name,
+		Body: []minic.Stmt{
+			minic.Let{Name: "val", E: fetch},
+			minic.If{Cond: minic.Cond{Op: minic.Eq, L: minic.Var("val"), R: minic.Int(0)},
+				Then: []minic.Stmt{minic.Return{E: minic.Int(0)}}},
+			sinkStmt(sink, minic.Var("val")),
+			minic.Return{E: minic.Int(0)},
+		},
+	})
+	tbl.Ptrs[slot] = minic.PtrInit{Off: 4 * slot, FuncName: name}
+	cb.truths = append(cb.truths, HandlerTruth{
+		Binary:       cb.binName,
+		FuncName:     name,
+		Category:     VulnShallow,
+		Sink:         sink,
+		Key:          key,
+		ITSDepth:     1,
+		CTSDepth:     6,
+		SinkFuncName: name,
+	})
+	return ChainStep{
+		Kind:     StepAddFeature,
+		Desc:     fmt.Sprintf("add handler %s on slot %d", name, slot),
+		Appeared: []ExpectedAlert{{Binary: cb.binName, SinkFuncName: name, Sink: sink}},
+	}, nil
+}
+
+// renameExport renames the exported handler and prepends a harmless
+// statement: the body shift defeats structural matching while the behavioral
+// vector stays put, which is exactly the case the similarity fallback exists
+// for. The alert inside persists across the rename.
+func (cb *chainBuilder) renameExport() (ChainStep, error) {
+	oldName := cb.exported
+	newName := oldName + "_v2"
+	f := cb.funcByName(oldName)
+	if f == nil {
+		return ChainStep{}, fmt.Errorf("exported handler %s missing", oldName)
+	}
+	f.Body = append([]minic.Stmt{
+		minic.Let{Name: "z0", E: minic.Add(minic.Int(1), minic.Int(2))},
+	}, f.Body...)
+	renameFuncRefs(cb.prog, oldName, newName)
+	for i := range cb.truths {
+		if cb.truths[i].FuncName == oldName {
+			cb.truths[i].FuncName = newName
+		}
+		if cb.truths[i].SinkFuncName == oldName {
+			cb.truths[i].SinkFuncName = newName
+		}
+	}
+	cb.exported = newName
+	return ChainStep{
+		Kind:        StepRenameExport,
+		Desc:        fmt.Sprintf("rename %s to %s", oldName, newName),
+		RenamedFrom: oldName,
+		RenamedTo:   newName,
+	}, nil
+}
+
+func (cb *chainBuilder) funcByName(name string) *minic.Func {
+	for _, f := range cb.prog.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// chainHandlers returns the handler function names in original table order,
+// plus any added features (which consumed their own slots).
+func (cb *chainBuilder) chainHandlers() []string {
+	var out []string
+	for _, h := range cb.truths {
+		out = append(out, h.FuncName)
+	}
+	return out
+}
+
+// renameFuncRefs rewrites every reference to a function name across the
+// program: definitions, calls, address-of expressions and pointer-table
+// initializers.
+func renameFuncRefs(p *minic.Program, from, to string) {
+	for _, f := range p.Funcs {
+		if f.Name == from {
+			f.Name = to
+		}
+		f.Body = renameStmts(f.Body, from, to)
+	}
+	for _, g := range p.Globals {
+		for i := range g.Ptrs {
+			if g.Ptrs[i].FuncName == from {
+				g.Ptrs[i].FuncName = to
+			}
+		}
+	}
+}
+
+func renameStmts(body []minic.Stmt, from, to string) []minic.Stmt {
+	out := make([]minic.Stmt, len(body))
+	for i, s := range body {
+		out[i] = renameStmt(s, from, to)
+	}
+	return out
+}
+
+func renameStmt(s minic.Stmt, from, to string) minic.Stmt {
+	switch s := s.(type) {
+	case minic.Let:
+		s.E = renameExpr(s.E, from, to)
+		return s
+	case minic.Assign:
+		s.E = renameExpr(s.E, from, to)
+		return s
+	case minic.StoreStmt:
+		s.Addr = renameExpr(s.Addr, from, to)
+		s.Val = renameExpr(s.Val, from, to)
+		return s
+	case minic.If:
+		s.Cond = renameCond(s.Cond, from, to)
+		s.Then = renameStmts(s.Then, from, to)
+		s.Else = renameStmts(s.Else, from, to)
+		return s
+	case minic.While:
+		s.Cond = renameCond(s.Cond, from, to)
+		s.Body = renameStmts(s.Body, from, to)
+		return s
+	case minic.Switch:
+		s.E = renameExpr(s.E, from, to)
+		cases := make([][]minic.Stmt, len(s.Cases))
+		for i, c := range s.Cases {
+			cases[i] = renameStmts(c, from, to)
+		}
+		s.Cases = cases
+		s.Default = renameStmts(s.Default, from, to)
+		return s
+	case minic.Return:
+		if s.E != nil {
+			s.E = renameExpr(s.E, from, to)
+		}
+		return s
+	case minic.ExprStmt:
+		s.E = renameExpr(s.E, from, to)
+		return s
+	default:
+		return s
+	}
+}
+
+func renameCond(c minic.Cond, from, to string) minic.Cond {
+	c.L = renameExpr(c.L, from, to)
+	c.R = renameExpr(c.R, from, to)
+	return c
+}
+
+func renameExpr(e minic.Expr, from, to string) minic.Expr {
+	switch e := e.(type) {
+	case minic.FuncAddr:
+		if string(e) == from {
+			return minic.FuncAddr(to)
+		}
+		return e
+	case minic.LoadExpr:
+		e.Addr = renameExpr(e.Addr, from, to)
+		return e
+	case minic.Bin:
+		e.L = renameExpr(e.L, from, to)
+		e.R = renameExpr(e.R, from, to)
+		return e
+	case minic.Call:
+		if e.Name == from {
+			e.Name = to
+		}
+		args := make([]minic.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = renameExpr(a, from, to)
+		}
+		e.Args = args
+		return e
+	case minic.CallInd:
+		e.Index = renameExpr(e.Index, from, to)
+		args := make([]minic.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = renameExpr(a, from, to)
+		}
+		e.Args = args
+		return e
+	default:
+		return e
+	}
+}

@@ -4,7 +4,9 @@
 # fitsctl/the client package, and asserts:
 #   - both jobs return HTTP 200 results and the result JSON is byte-identical
 #   - the second run hit the shared model cache (visible in /metrics)
-#   - /metrics is non-empty and counts both completions
+#   - a diff round-trip (image against itself) completes, reports full
+#     function reuse, repeats byte-identically, and shows up in /metrics
+#   - /metrics is non-empty and counts the completions
 #   - SIGTERM drains the daemon cleanly within the deadline
 set -eu
 
@@ -68,12 +70,24 @@ ctl submit -wait -its -scan -out "$tmp/r2.json" "$fw" || fail "second submission
 [ -s "$tmp/r1.json" ] || fail "first result is empty"
 cmp -s "$tmp/r1.json" "$tmp/r2.json" || fail "resubmitted image produced different result JSON"
 
+echo "serve-smoke: diffing $(basename "$fw") against itself twice"
+ctl diff -wait -out "$tmp/d1.json" "$fw" "$fw" || fail "first diff submission"
+ctl diff -wait -out "$tmp/d2.json" "$fw" "$fw" || fail "second diff submission"
+[ -s "$tmp/d1.json" ] || fail "first diff result is empty"
+cmp -s "$tmp/d1.json" "$tmp/d2.json" || fail "resubmitted diff produced different result JSON"
+grep -q '"reuse_ratio":1' "$tmp/d1.json" \
+    || fail "self-diff did not reuse every function: $(cat "$tmp/d1.json")"
+
 metrics=$(ctl metrics)
 [ -n "$metrics" ] || fail "/metrics is empty"
-echo "$metrics" | grep -q '^fitsd_jobs_completed_total 2$' \
-    || fail "expected fitsd_jobs_completed_total 2, got: $(echo "$metrics" | grep jobs_completed)"
+echo "$metrics" | grep -q '^fitsd_jobs_completed_total 4$' \
+    || fail "expected fitsd_jobs_completed_total 4, got: $(echo "$metrics" | grep jobs_completed)"
 echo "$metrics" | grep -q '^fitsd_model_cache_hits_total [1-9]' \
     || fail "second submission recorded no model-cache hits"
+echo "$metrics" | grep -q '^fits_diff_reuse_ratio 1$' \
+    || fail "diff reuse-ratio gauge missing or not 1: $(echo "$metrics" | grep diff_reuse)"
+echo "$metrics" | grep -q '^fitsd_diff_analyze_new_seconds_count 2$' \
+    || fail "diff stage histograms missing: $(echo "$metrics" | grep diff_analyze)"
 
 echo "serve-smoke: sending SIGTERM, expecting a clean drain"
 kill -TERM "$pid"
@@ -86,4 +100,4 @@ done
 wait "$pid" 2>/dev/null || fail "fitsd exited non-zero after SIGTERM"
 pid=""
 
-echo "serve-smoke: OK (identical results, cache hits, clean drain)"
+echo "serve-smoke: OK (identical results, cache hits, diff round-trip, clean drain)"
