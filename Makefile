@@ -1,8 +1,9 @@
 # Development and CI entry points. `make ci` is the full gate: vet, the
 # fitslint invariant suite, build, plain tests, race-enabled tests, a short
 # fuzz smoke on each fuzz target (go's -fuzz flag accepts a single package,
-# hence one invocation per target), and a one-iteration benchmark smoke that
-# archives pipeline numbers to BENCH_pipeline.json.
+# hence one invocation per target), and a 20-iteration benchmark smoke that
+# gates ns/op and allocs/op against the committed BENCH_pipeline.json
+# before replacing it.
 
 GO      ?= go
 FUZZTIME ?= 10s
@@ -32,11 +33,18 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# One iteration of the end-to-end pipeline benchmarks (cold and cache-warm),
-# converted to JSON so CI can diff ns/op, allocs/op, and cache hit rate.
+# Twenty iterations of the end-to-end pipeline benchmarks (cold, cache-warm
+# and diff), converted to JSON and gated against the committed baseline:
+# benchjson -compare exits nonzero when ns/op or allocs/op grew beyond the
+# tolerance (warn-only across different CPUs), and only then does the fresh
+# report replace BENCH_pipeline.json. benchjson itself refuses
+# single-iteration samples, so the archive can't silently degrade to
+# -benchtime=1x noise.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^BenchmarkPipeline_' -benchtime=1x -benchmem . \
-		| $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	$(GO) test -run='^$$' -bench='^BenchmarkPipeline_' -benchtime=20x -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_pipeline.json BENCH_new.json -tolerance 25
+	mv BENCH_new.json BENCH_pipeline.json
 	@cat BENCH_pipeline.json
 
 # End-to-end smoke of the fitsd service: boot the daemon, submit a

@@ -21,6 +21,7 @@ import (
 	"fits/internal/eval"
 	"fits/internal/infer"
 	"fits/internal/loader"
+	"fits/internal/stagetime"
 	"fits/internal/synth"
 	"fits/internal/verify"
 )
@@ -220,15 +221,44 @@ func BenchmarkCaseStudy_DeepFlow(b *testing.B) {
 }
 
 // BenchmarkPipeline_SingleFirmware measures the end-to-end cost of the
-// public API on one firmware image (unpack + model + infer).
+// public API on one firmware image (unpack + model + infer), with the
+// per-stage breakdown reported as extra metrics: <stage>-ns/op and
+// <stage>-allocs/op for decode, lift, cfg, reachdef and infer (reachdef is
+// nested inside infer — spans, not a partition). Taint is measured by one
+// scan per target outside the timed loop, reported per scan, so the
+// headline ns/op stays comparable with pre-stage-metric baselines.
 func BenchmarkPipeline_SingleFirmware(b *testing.B) {
 	samples := benchCorpus(b)
 	raw := samples[0].Packed
+	opts := DefaultOptions()
+	stages := new(StageTimer)
+	opts.Stages = stages
 	b.ResetTimer()
+	var res *Result
+	var err error
 	for i := 0; i < b.N; i++ {
-		if _, err := Analyze(raw, DefaultOptions()); err != nil {
+		if res, err = Analyze(raw, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	for _, st := range stagetime.Stages() {
+		if st == stagetime.Taint {
+			continue
+		}
+		b.ReportMetric(float64(stages.WallNanos(st))/float64(b.N), st.String()+"-ns/op")
+		b.ReportMetric(float64(stages.Allocs(st))/float64(b.N), st.String()+"-allocs/op")
+	}
+	scans := 0
+	for _, t := range res.Targets {
+		if _, err := t.Scan(ScanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		scans++
+	}
+	if scans > 0 {
+		b.ReportMetric(float64(stages.WallNanos(stagetime.Taint))/float64(scans), "taint-ns/scan")
+		b.ReportMetric(float64(stages.Allocs(stagetime.Taint))/float64(scans), "taint-allocs/scan")
 	}
 }
 

@@ -76,3 +76,57 @@ func TestParseSkipsNonResultLines(t *testing.T) {
 		t.Errorf("benchmarks = %+v", rep.Benchmarks)
 	}
 }
+
+func report(cpu string, benches ...Benchmark) *Report {
+	return &Report{Goos: "linux", Goarch: "amd64", Pkg: "fits", CPU: cpu, Benchmarks: benches}
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 20, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestSingleIterationRejected(t *testing.T) {
+	rep := report("cpu0",
+		Benchmark{Name: "BenchmarkA", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}},
+		bench("BenchmarkB", 100, 10))
+	bad := singleIteration(rep)
+	if len(bad) != 1 || bad[0] != "BenchmarkA" {
+		t.Errorf("singleIteration = %v, want [BenchmarkA]", bad)
+	}
+	if bad := singleIteration(report("cpu0", bench("BenchmarkB", 100, 10))); len(bad) != 0 {
+		t.Errorf("multi-iteration samples flagged: %v", bad)
+	}
+}
+
+func TestRegressionsGateNsAndAllocs(t *testing.T) {
+	old := report("cpu0", bench("BenchmarkA", 1000, 100), bench("BenchmarkB", 1000, 100))
+	cur := report("cpu0",
+		bench("BenchmarkA", 1300, 100), // +30% ns/op: regression at 25
+		bench("BenchmarkB", 1200, 135), // +20% ns ok, +35% allocs: regression
+		bench("BenchmarkNew", 9e9, 9e9)) // absent from old: ignored
+	regs := regressions(old, cur, 25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+	if !strings.Contains(regs[0], "BenchmarkA ns/op") || !strings.Contains(regs[1], "BenchmarkB allocs/op") {
+		t.Errorf("regressions = %v", regs)
+	}
+	if regs := regressions(old, cur, 40); len(regs) != 0 {
+		t.Errorf("at 40%% tolerance want none, got %v", regs)
+	}
+	// Improvements never trip the gate.
+	if regs := regressions(old, report("cpu0", bench("BenchmarkA", 10, 1)), 25); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareArgsTrailingTolerance(t *testing.T) {
+	oldPath, newPath, tol := compareArgs([]string{"old.json", "new.json", "-tolerance", "10"}, 25)
+	if oldPath != "old.json" || newPath != "new.json" || tol != 10 {
+		t.Errorf("got (%q, %q, %v)", oldPath, newPath, tol)
+	}
+	oldPath, newPath, tol = compareArgs([]string{"a", "b"}, 25)
+	if oldPath != "a" || newPath != "b" || tol != 25 {
+		t.Errorf("got (%q, %q, %v)", oldPath, newPath, tol)
+	}
+}

@@ -1,5 +1,5 @@
-// Command fwscan runs taint analysis over a firmware image, optionally
-// seeding inferred intermediate taint sources.
+// Command fwscan runs taint analysis over one or more firmware images,
+// optionally seeding inferred intermediate taint sources.
 //
 // Usage:
 //
@@ -7,6 +7,12 @@
 //	fwscan -its firmware.fw                # infer ITSs first, then seed top-3
 //	fwscan -engine symbolic -its firmware.fw
 //	fwscan -j 8 -timeout 1m firmware.fw    # 8 workers, abort after a minute
+//	fwscan -j 8 v1.fw v2.fw v3.fw          # batch: one shared worker budget
+//
+// With several images the batch is analyzed under one corpus scheduler, so
+// model building and inference across images share a single worker budget
+// and per-image output is printed in argument order, identical to running
+// the images one at a time.
 //
 // All option plumbing is shared with cmd/fits and the fitsd service via
 // internal/optbuild, so a flag here and the matching JSON job option mean
@@ -34,12 +40,16 @@ func main() {
 	cacheCfg.BindFlags(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print model-cache diagnostics")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-v] firmware.fw")
+	if flag.NArg() < 1 {
+		log.Fatal("usage: fwscan [-its] [-engine static|symbolic] [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-v] firmware.fw [more.fw ...]")
 	}
-	raw, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
+	images := make([][]byte, flag.NArg())
+	for i, name := range flag.Args() {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		images[i] = raw
 	}
 	aopts, err := spec.AnalyzeOptions(cacheCfg.New())
 	if err != nil {
@@ -48,32 +58,51 @@ func main() {
 
 	ctx, cancel := spec.Context(context.Background())
 	defer cancel()
-	res, err := fits.AnalyzeContext(ctx, raw, aopts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s %s %s\n", res.Vendor, res.Product, res.Version)
-	if *verbose {
-		s := res.Cache.Stats
-		fmt.Printf("models: lifted %d, reused %d (cache: %d hits, %d misses, %d evictions, %d bytes)\n",
-			res.Cache.Lifted, res.Cache.Reused, s.Hits, s.Misses, s.Evictions, s.Bytes)
+	// One image goes straight through Analyze; a batch shares one scheduler,
+	// intern table and cache across images via the corpus entry point.
+	var results []*fits.Result
+	if len(images) == 1 {
+		res, err := fits.AnalyzeContext(ctx, images[0], aopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = []*fits.Result{res}
+	} else {
+		results, err = fits.AnalyzeCorpus(ctx, images, aopts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	total := 0
-	for _, t := range res.Targets {
-		opts, err := spec.ScanOptions(t)
-		if err != nil {
-			log.Fatal(err)
+	for i, res := range results {
+		if len(results) > 1 {
+			fmt.Printf("== %s ==\n", flag.Arg(i))
 		}
-		alerts, err := t.ScanContext(ctx, opts)
-		if err != nil {
-			log.Fatal(err)
+		fmt.Printf("%s %s %s\n", res.Vendor, res.Product, res.Version)
+		if *verbose {
+			s := res.Cache.Stats
+			fmt.Printf("models: lifted %d, reused %d (cache: %d hits, %d misses, %d evictions, %d bytes)\n",
+				res.Cache.Lifted, res.Cache.Reused, s.Hits, s.Misses, s.Evictions, s.Bytes)
 		}
-		fmt.Printf("\n%s: %d alerts\n", t.Path, len(alerts))
-		for _, a := range alerts {
-			fmt.Printf("  [%s] %s at %#x (in func %#x, via %s)\n",
-				a.Kind, a.Sink, a.Site, a.Func, a.Source)
+		for _, t := range res.Targets {
+			opts, err := spec.ScanOptions(t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			alerts, err := t.ScanContext(ctx, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n%s: %d alerts\n", t.Path, len(alerts))
+			for _, a := range alerts {
+				fmt.Printf("  [%s] %s at %#x (in func %#x, via %s)\n",
+					a.Kind, a.Sink, a.Site, a.Func, a.Source)
+			}
+			total += len(alerts)
 		}
-		total += len(alerts)
+		if len(results) > 1 && i < len(results)-1 {
+			fmt.Println()
+		}
 	}
 	fmt.Printf("\n%d alerts total\n", total)
 }

@@ -1,0 +1,64 @@
+package fits
+
+// Tests for the corpus entry point's contract: batching images onto one
+// shared scheduler and intern table is invisible in the output — every
+// Results[i] is deep-equal to a standalone AnalyzeContext of images[i], at
+// every worker count — and a failing image reports its index.
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeCorpusMatchesSequential(t *testing.T) {
+	// Samples 0, 1 and 42 cover single- and multi-target images plus the
+	// bug-dense Tenda sample.
+	images := [][]byte{sample(t, 0).Packed, sample(t, 1).Packed, sample(t, 42).Packed}
+
+	var want []comparableResult
+	for i, raw := range images {
+		res, err := AnalyzeContext(context.Background(), raw, DefaultOptions())
+		if err != nil {
+			t.Fatalf("sequential image %d: %v", i, err)
+		}
+		want = append(want, normalize(res))
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := DefaultOptions()
+		opts.Parallelism = workers
+		results, err := AnalyzeCorpus(context.Background(), images, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != len(images) {
+			t.Fatalf("workers=%d: %d results for %d images", workers, len(results), len(images))
+		}
+		for i, res := range results {
+			if got := normalize(res); !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("workers=%d: image %d differs from standalone analysis\nwant: %+v\ngot:  %+v",
+					workers, i, want[i], got)
+			}
+		}
+	}
+}
+
+func TestAnalyzeCorpusReportsFailingIndex(t *testing.T) {
+	images := [][]byte{sample(t, 0).Packed, []byte("not firmware")}
+	_, err := AnalyzeCorpus(context.Background(), images, DefaultOptions())
+	if err == nil {
+		t.Fatal("corrupt image produced no error")
+	}
+	if !strings.Contains(err.Error(), "image 1") {
+		t.Errorf("err = %v, want the failing image's index", err)
+	}
+}
+
+func TestAnalyzeCorpusEmpty(t *testing.T) {
+	results, err := AnalyzeCorpus(context.Background(), nil, DefaultOptions())
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty corpus: results=%v err=%v", results, err)
+	}
+}

@@ -36,14 +36,31 @@ import (
 	"time"
 
 	"fits/internal/infer"
+	"fits/internal/intern"
 	"fits/internal/karonte"
 	"fits/internal/know"
 	"fits/internal/loader"
 	"fits/internal/modelcache"
 	"fits/internal/pool"
 	"fits/internal/score"
+	"fits/internal/stagetime"
 	"fits/internal/taint"
 )
+
+// StageTimer accumulates per-stage wall-clock and allocation costs of one
+// analysis or a whole corpus batch (decode, lift, cfg, reachdef, infer,
+// taint); see Options.Stages. The zero value is ready to use.
+type StageTimer = stagetime.Timer
+
+// Scheduler is a shared bounded worker budget. One Scheduler handed to many
+// analyses (Options.Scheduler, AnalyzeCorpus) bounds their combined
+// goroutines instead of each call sizing its own fan-out; nested fan-outs
+// never deadlock (the calling goroutine always runs items itself).
+type Scheduler = pool.Scheduler
+
+// NewScheduler returns a scheduler bounding concurrent analysis work to
+// `workers` goroutines (<= 0 means runtime.GOMAXPROCS(0)).
+func NewScheduler(workers int) *Scheduler { return pool.NewScheduler(workers) }
 
 // Cache is a content-addressed, concurrency-safe cache of loaded binary
 // models and derived feature vectors, keyed by the SHA-256 of the binary
@@ -80,6 +97,20 @@ type Options struct {
 	// byte-identical with and without a cache; only Elapsed and the
 	// CacheInfo diagnostics differ.
 	Cache *Cache
+	// Scheduler, when non-nil, draws every fan-out of this analysis from a
+	// shared worker budget instead of sizing per-call pools from
+	// Parallelism. AnalyzeCorpus sets it to batch images; long-running
+	// services share one across jobs. Results are byte-identical either way.
+	Scheduler *Scheduler
+	// Stages, when non-nil, accumulates this analysis's per-stage wall and
+	// allocation costs (decode, lift, cfg, reachdef, infer, taint). Purely
+	// diagnostic: results are unaffected. Allocation attribution is exact
+	// only at Parallelism 1; wall times sum across workers.
+	Stages *StageTimer
+	// intern is the per-analysis string intern table. Analyze creates one
+	// per call; AnalyzeCorpus shares one across the batch so names repeated
+	// between images collapse too. Interning never changes output bytes.
+	intern *intern.Table
 	// prev threads the previous firmware version's targets into the loader
 	// so unchanged functions are replayed instead of rebuilt; set by Diff.
 	prev []*loader.Target
@@ -95,6 +126,16 @@ func inferConfig(opts Options, workers int) infer.Config {
 	cfgn.Metric = opts.Metric
 	cfgn.Parallelism = workers
 	cfgn.Cache = opts.Cache
+	cfgn.Sched = opts.Scheduler
+	cfgn.Intern = opts.intern
+	if st := opts.Stages; st != nil {
+		cfgn.Clock = stagetime.Clock
+		cfgn.AllocCount = stagetime.AllocCount
+		cfgn.OnReachDef = func(wallNanos, allocObjs int64) {
+			st.Add(stagetime.ReachDef, wallNanos)
+			st.AddAllocs(stagetime.ReachDef, allocObjs)
+		}
+	}
 	return cfgn
 }
 
@@ -118,6 +159,9 @@ type TargetResult struct {
 	cache    *Cache
 	hash     modelcache.Hash
 	modelCfg string
+	// stages carries the analysis's stage timer into Scan so taint-engine
+	// time lands in the same Timer as the inference stages; nil disables.
+	stages *StageTimer
 }
 
 // TopCandidates returns the k best-ranked candidates.
@@ -169,11 +213,17 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.intern == nil {
+		opts.intern = intern.NewTable()
+	}
 	res, err := loader.LoadContext(ctx, raw, loader.Options{
 		SkipResolver: opts.SkipIndirectResolution,
 		Parallelism:  workers,
 		Cache:        opts.Cache,
 		Prev:         opts.prev,
+		Sched:        opts.Scheduler,
+		Intern:       opts.intern,
+		Stages:       opts.Stages,
 	})
 	if err != nil {
 		return nil, err
@@ -185,7 +235,8 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 		Version: res.Image.Version,
 		Targets: make([]*TargetResult, len(res.Targets)),
 	}
-	err = pool.ForEach(ctx, workers, len(res.Targets), func(i int) error {
+	inferDone := opts.Stages.Span(stagetime.Infer)
+	inferJob := func(i int) error {
 		t := res.Targets[i]
 		r, err := infer.InferTargetContext(ctx, t, cfgn)
 		if err != nil {
@@ -194,13 +245,20 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 		tr := &TargetResult{
 			Path: t.Path, Binary: r.Binary, NumFuncs: r.NumFuncs,
 			target: t, cache: opts.Cache, hash: t.Hash, modelCfg: t.ModelConfig,
+			stages: opts.Stages,
 		}
 		for _, e := range r.Ranked {
 			tr.Candidates = append(tr.Candidates, Candidate{Entry: e.Entry, Score: e.Score})
 		}
 		out.Targets[i] = tr
 		return nil
-	})
+	}
+	if opts.Scheduler != nil {
+		err = opts.Scheduler.ForEach(ctx, len(res.Targets), inferJob)
+	} else {
+		err = pool.ForEach(ctx, workers, len(res.Targets), inferJob)
+	}
+	inferDone()
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +266,37 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 	out.Cache = CacheInfo{Lifted: res.Lifted, Reused: res.Reused}
 	if opts.Cache != nil {
 		out.Cache.Stats = opts.Cache.Stats()
+	}
+	return out, nil
+}
+
+// AnalyzeCorpus analyzes a batch of firmware images under one shared worker
+// budget, intern table, cache and stage timer: image A's model building and
+// image B's feature extraction draw from the same scheduler instead of each
+// call sizing its own fan-out, and strings repeated across images are
+// interned once. Results[i] corresponds to images[i] and is byte-identical
+// to Analyze(images[i], opts) at every worker count; the error of the
+// lowest-indexed failing image aborts the batch. Supplying opts.Scheduler
+// lets several corpus calls (or a service's jobs) share one budget; without
+// one the batch gets its own, sized from opts.Parallelism.
+func AnalyzeCorpus(ctx context.Context, images [][]byte, opts Options) ([]*Result, error) {
+	if opts.Scheduler == nil {
+		opts.Scheduler = NewScheduler(opts.Parallelism)
+	}
+	if opts.intern == nil {
+		opts.intern = intern.NewTable()
+	}
+	out := make([]*Result, len(images))
+	err := opts.Scheduler.ForEach(ctx, len(images), func(i int) error {
+		r, err := AnalyzeContext(ctx, images[i], opts)
+		if err != nil {
+			return fmt.Errorf("fits: image %d: %w", i, err)
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -310,6 +399,7 @@ func (t *TargetResult) scan(ctx context.Context, opts ScanOptions) ([]Alert, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	defer t.stages.Span(stagetime.Taint)()
 	var raw []taint.Alert
 	switch opts.Engine {
 	case EngineSymbolic:

@@ -9,6 +9,7 @@ import (
 	"fits/internal/binimg"
 	"fits/internal/cfg"
 	"fits/internal/dataflow"
+	"fits/internal/intern"
 	"fits/internal/know"
 )
 
@@ -64,11 +65,29 @@ type Extractor struct {
 	// ExtraCallers adds caller counts contributed by other binaries
 	// (e.g. call sites in the main binary reaching a library's export).
 	ExtraCallers map[uint32]int
+	// Intern, when non-nil, canonicalizes call-site string constants so a
+	// value seen at many sites costs one allocation per analysis. Interning
+	// never changes vector contents.
+	Intern *intern.Table
+	// Clock and OnReachDef instrument the reaching-definition stage: when
+	// both are set, each dataflow.Analyze call's wall time (and, with
+	// AllocCount, its heap-object count) is reported through OnReachDef.
+	// This package never reads a clock itself — impure callers inject one.
+	Clock      func() int64
+	AllocCount func() int64
+	OnReachDef func(wallNanos, allocObjs int64)
+
+	// anchorFn is e.anchorInfo bound once at construction: method values
+	// allocate, and FuncVector needs one per call otherwise. Read-only after
+	// New, so concurrent FuncVector calls may share it.
+	anchorFn dataflow.AnchorFunc
 }
 
 // New returns an extractor with the default anchor set.
 func New(bin *binimg.Binary, m *cfg.Model) *Extractor {
-	return &Extractor{Bin: bin, Model: m, Anchors: know.Anchors}
+	e := &Extractor{Bin: bin, Model: m, Anchors: know.Anchors}
+	e.anchorFn = e.anchorInfo
+	return e
 }
 
 // calleeName resolves the library-function name of a call site: the import
@@ -120,7 +139,26 @@ func (e *Extractor) FuncVector(f *cfg.Function) Vector {
 	}
 
 	// Intraprocedural flow features from reaching definitions.
-	facts := dataflow.Analyze(f, e.anchorInfo)
+	anchorFn := e.anchorFn
+	if anchorFn == nil { // literal-constructed extractor (tests)
+		anchorFn = e.anchorInfo
+	}
+	var facts dataflow.FlowFacts
+	if e.OnReachDef != nil && e.Clock != nil {
+		t0 := e.Clock()
+		var a0 int64
+		if e.AllocCount != nil {
+			a0 = e.AllocCount()
+		}
+		facts = dataflow.Analyze(f, anchorFn)
+		var allocs int64
+		if e.AllocCount != nil {
+			allocs = e.AllocCount() - a0
+		}
+		e.OnReachDef(e.Clock()-t0, allocs)
+	} else {
+		facts = dataflow.Analyze(f, anchorFn)
+	}
 	if facts.ParamControlsLoop {
 		v[FParamLoop] = 1
 	}
@@ -132,7 +170,7 @@ func (e *Extractor) FuncVector(f *cfg.Function) Vector {
 	}
 
 	// Interprocedural flow features from call-site analysis.
-	sf := dataflow.CallSiteStrings(e.Bin, e.Model, f)
+	sf := dataflow.CallSiteStringsInterned(e.Bin, e.Model, f.Entry, f.Params, e.Intern)
 	if sf.ArgsContainString {
 		v[FArgStrings] = 1
 	}

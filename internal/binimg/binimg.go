@@ -115,6 +115,18 @@ func (b *Binary) ByteAt(addr uint32) (byte, bool) {
 
 // CString reads a NUL-terminated string at addr from rodata or data.
 func (b *Binary) CString(addr uint32) (string, bool) {
+	v, ok := b.CStringBytes(addr)
+	if !ok {
+		return "", false
+	}
+	return string(v), true
+}
+
+// CStringBytes is CString without the copy: the returned bytes are a view
+// over the section data (valid as long as the binary is, and not to be
+// modified). Callers that intern or only inspect the string avoid
+// materializing it.
+func (b *Binary) CStringBytes(addr uint32) ([]byte, bool) {
 	for _, s := range []Section{b.Rodata, b.Data} {
 		if !s.Contains(addr) {
 			continue
@@ -122,11 +134,11 @@ func (b *Binary) CString(addr uint32) (string, bool) {
 		off := int(addr - s.Addr)
 		end := bytes.IndexByte(s.Data[off:], 0)
 		if end < 0 {
-			return string(s.Data[off:]), true
+			return s.Data[off:len(s.Data):len(s.Data)], true
 		}
-		return string(s.Data[off : off+end]), true
+		return s.Data[off : off+end : off+end], true
 	}
-	return "", false
+	return nil, false
 }
 
 // ImportAtStub resolves a text address to the import whose trampoline lives

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fits/internal/intern"
 	"fits/internal/isa"
 )
 
@@ -37,6 +38,7 @@ type reader struct {
 	src []byte
 	off int
 	err error
+	tab *intern.Table // nil means no interning
 }
 
 func (r *reader) fail(err error) {
@@ -80,11 +82,17 @@ func (r *reader) str() string {
 		r.fail(ErrTruncated)
 		return ""
 	}
-	s := string(r.src[r.off : r.off+int(n)])
+	// Bytes on a nil table is a plain conversion; with a table, names
+	// repeated across binaries (libc symbols, import names) collapse to one
+	// allocation per analysis.
+	s := r.tab.Bytes(r.src[r.off : r.off+int(n)])
 	r.off += int(n)
 	return s
 }
 
+// blob returns the next length-prefixed byte run as a capped view over the
+// input — decoding never copies section bytes. The cap guards the following
+// field against appends through the view.
 func (r *reader) blob(limit uint32) []byte {
 	n := r.u32()
 	if r.err != nil {
@@ -94,8 +102,7 @@ func (r *reader) blob(limit uint32) []byte {
 		r.fail(ErrTruncated)
 		return nil
 	}
-	b := make([]byte, n)
-	copy(b, r.src[r.off:r.off+int(n)])
+	b := r.src[r.off : r.off+int(n) : r.off+int(n)]
 	r.off += int(n)
 	return b
 }
@@ -143,11 +150,23 @@ func (b *Binary) Encode() []byte {
 
 // Decode parses a binary container. It validates magic, architecture and
 // bounds, returning descriptive errors for malformed images.
+//
+// Section data in the returned binary aliases src (views, not copies). The
+// caller must not modify src while the binary is live; decoded binaries are
+// immutable downstream, which is what lets the model cache share them.
 func Decode(src []byte) (*Binary, error) {
+	return DecodeIntern(src, nil)
+}
+
+// DecodeIntern is Decode with a string intern table: symbol, import and
+// library names are canonicalized through tab, so names repeated across a
+// firmware's binaries share one backing allocation. A nil tab behaves
+// exactly like Decode.
+func DecodeIntern(src []byte, tab *intern.Table) (*Binary, error) {
 	if len(src) < len(Magic) || !bytes.Equal(src[:len(Magic)], Magic) {
 		return nil, ErrBadMagic
 	}
-	r := &reader{src: src, off: len(Magic)}
+	r := &reader{src: src, off: len(Magic), tab: tab}
 	b := &Binary{}
 	b.Arch = isa.Arch(r.u8())
 	flags := r.u8()

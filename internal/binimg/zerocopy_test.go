@@ -1,0 +1,68 @@
+package binimg
+
+import (
+	"bytes"
+	"testing"
+
+	"fits/internal/isa"
+)
+
+func testBinary() *Binary {
+	ins := make([]isa.Instr, 1024)
+	for i := range ins {
+		ins[i] = isa.Instr{Op: isa.OpNop}
+	}
+	text := isa.ArchARM.EncodeAll(ins)
+	return &Binary{
+		Arch:   isa.ArchARM,
+		Name:   "httpd",
+		Entry:  0x1000,
+		Text:   Section{Addr: 0x1000, Data: text},
+		Rodata: Section{Addr: 0x9000, Data: []byte("GET /\x00POST /\x00")},
+		Data:   Section{Addr: 0xA000, Data: []byte{1, 2, 3, 4}},
+		Needed: []string{"libc.so"},
+		Exports: []Sym{
+			{Name: "main", Addr: 0x1000},
+		},
+	}
+}
+
+// TestDecodeAliasesInput proves Decode is zero-copy for section data: the
+// returned sections are capped views over the container bytes.
+func TestDecodeAliasesInput(t *testing.T) {
+	src := testBinary().Encode()
+	b, err := Decode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(src, b.Rodata.Data)
+	if idx < 0 {
+		t.Fatal("rodata bytes not found in container")
+	}
+	src[idx] ^= 0xFF
+	if b.Rodata.Data[0] != src[idx] {
+		t.Fatal("section data is a copy, want a view over the container")
+	}
+	src[idx] ^= 0xFF
+	for _, s := range []Section{b.Text, b.Rodata, b.Data} {
+		if cap(s.Data) != len(s.Data) {
+			t.Fatalf("section view not capped: len %d cap %d", len(s.Data), cap(s.Data))
+		}
+	}
+}
+
+// TestDecodeAllocBudget pins Decode to a small constant allocation count
+// independent of section size: the struct, symbol strings, and slice headers
+// — never the 4 KiB text section itself.
+func TestDecodeAllocBudget(t *testing.T) {
+	src := testBinary().Encode()
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Decode(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Observed ~10; the slack absorbs runtime jitter, not a section copy.
+	if allocs > 24 {
+		t.Fatalf("Decode allocates %v objects per run, want <= 24", allocs)
+	}
+}

@@ -1,0 +1,41 @@
+package cfg
+
+// Allocation guard for the incremental-rebuild fast path: when a reuse plan
+// serves every function of an identical binary, Build must not re-lift
+// anything, so the whole plan+build+finalize cycle stays within a small
+// fixed allocation budget. A budget regression here means the cached-plan
+// path started copying or re-deriving per-function state it used to reuse.
+
+import (
+	"testing"
+
+	"fits/internal/isa"
+)
+
+func TestReusePlanBuildAllocBudget(t *testing.T) {
+	bin := link(t, evoProg(5, false), isa.ArchARM)
+	cold := build(t, bin)
+	var failed bool
+	allocs := testing.AllocsPerRun(10, func() {
+		plan := NewReusePlan(bin, cold, bin)
+		m, err := Build(bin, Options{FuncSource: plan.Source})
+		if err != nil {
+			failed = true
+			return
+		}
+		plan.Finalize(m)
+		if plan.Reused != plan.Total {
+			failed = true
+		}
+	})
+	if failed {
+		t.Fatal("plan-guided rebuild failed or lifted functions it should reuse")
+	}
+	// Observed ~250 allocs per cycle (plan hashing dominates on a program
+	// this small); 2x headroom absorbs runtime and toolchain drift while
+	// still catching a per-function copy sneaking into the reuse path.
+	const budget = 500
+	if allocs > budget {
+		t.Errorf("plan-guided rebuild allocated %.0f objects per run, budget %d", allocs, budget)
+	}
+}

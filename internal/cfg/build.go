@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"strconv"
+	"sync/atomic"
 
 	"fits/internal/binimg"
 	"fits/internal/ir"
@@ -36,6 +37,26 @@ type Options struct {
 	// source is bypassed for functions with resolved jump tables, whose
 	// recovery depends on resolver state the source cannot reproduce.
 	FuncSource func(entry uint32) (*Function, bool)
+	// Clock and Stats, when both set, split the build's cost between
+	// function recovery/lifting and the rest of model construction
+	// (resolution passes, call-graph assembly). AllocCount additionally
+	// attributes heap-object counts the same way. This package never reads a
+	// clock itself — impure callers inject one (the nondet invariant).
+	Clock      func() int64
+	AllocCount func() int64
+	Stats      *BuildStats
+}
+
+// BuildStats accumulates where Build's time and allocations go: the lift
+// counters cover buildFunction (instruction recovery and IR lifting), the
+// total counters the whole Build call. Fields are atomic so one BuildStats
+// may be shared by concurrent builds; a corpus's loader aggregates them into
+// per-stage timers.
+type BuildStats struct {
+	LiftNanos   atomic.Int64
+	LiftAllocs  atomic.Int64
+	TotalNanos  atomic.Int64
+	TotalAllocs atomic.Int64
 }
 
 const defaultMaxFuncs = 1 << 16
@@ -46,6 +67,37 @@ const defaultMaxFuncs = 1 << 16
 func Build(bin *binimg.Binary, opts Options) (*Model, error) {
 	if opts.MaxFuncs == 0 {
 		opts.MaxFuncs = defaultMaxFuncs
+	}
+	instrumented := opts.Clock != nil && opts.Stats != nil
+	if instrumented {
+		t0 := opts.Clock()
+		var a0 int64
+		if opts.AllocCount != nil {
+			a0 = opts.AllocCount()
+		}
+		defer func() {
+			opts.Stats.TotalNanos.Add(opts.Clock() - t0)
+			if opts.AllocCount != nil {
+				opts.Stats.TotalAllocs.Add(opts.AllocCount() - a0)
+			}
+		}()
+	}
+	// lift wraps buildFunction with the per-function cost attribution.
+	lift := func(entry uint32, extraJumps map[uint32][]uint32) (*Function, error) {
+		if !instrumented {
+			return buildFunction(bin, entry, extraJumps)
+		}
+		t0 := opts.Clock()
+		var a0 int64
+		if opts.AllocCount != nil {
+			a0 = opts.AllocCount()
+		}
+		f, err := buildFunction(bin, entry, extraJumps)
+		opts.Stats.LiftNanos.Add(opts.Clock() - t0)
+		if opts.AllocCount != nil {
+			opts.Stats.LiftAllocs.Add(opts.AllocCount() - a0)
+		}
+		return f, err
 	}
 	m := &Model{Bin: bin, Funcs: map[uint32]*Function{}, Callers: map[uint32][]CallSite{}}
 
@@ -73,7 +125,7 @@ func Build(bin *binimg.Binary, opts Options) (*Model, error) {
 					continue
 				}
 			}
-			f, err := buildFunction(bin, entry, jumpTables[entry])
+			f, err := lift(entry, jumpTables[entry])
 			if err != nil {
 				// Unparseable seed (e.g. a data word that happened to look
 				// like a code pointer): skip it, as real tools do.
@@ -372,7 +424,7 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 
 	f := &Function{
 		Entry:  entry,
-		Blocks: map[uint32]*BasicBlock{},
+		Blocks: make(map[uint32]*BasicBlock, len(leaders)),
 	}
 	if name, ok := bin.FuncName(entry); ok {
 		f.Name = name
@@ -380,11 +432,33 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 		f.Name = "sub_" + strconv.FormatUint(uint64(entry), 16)
 	}
 
+	// Count block boundaries up front so the block array and the shared
+	// instruction/IR backing arrays are allocated exactly once; every block's
+	// Instrs and IR are then contiguous subslices of those arrays. The block
+	// array is never appended to beyond its exact capacity, so *BasicBlock
+	// pointers stay stable.
+	nblocks := 0
+	for i, a := range addrs {
+		if i == 0 || leaders[a] || addrs[i-1]+isa.Width != a {
+			nblocks++
+			continue
+		}
+		if prev := reach[addrs[i-1]]; prev.EndsBlock() {
+			nblocks++
+		}
+	}
+	blockArr := make([]BasicBlock, 0, nblocks)
+	instrArr := make([]isa.Instr, 0, len(addrs))
+	irArr := make([]*ir.Block, 0, len(addrs))
+
 	lifter := ir.NewLifter()
 	lifter.Reserve(len(addrs))
 	var cur *BasicBlock
+	curStart := 0 // index into instrArr/irArr where cur's run begins
 	flush := func() {
 		if cur != nil {
+			cur.Instrs = instrArr[curStart:len(instrArr):len(instrArr)]
+			cur.IR = irArr[curStart:len(irArr):len(irArr)]
 			f.Blocks[cur.Start] = cur
 			cur = nil
 		}
@@ -393,14 +467,16 @@ func buildFunction(bin *binimg.Binary, entry uint32, extraJumps map[uint32][]uin
 		in := reach[a]
 		if leaders[a] || cur == nil || (i > 0 && addrs[i-1]+isa.Width != a) {
 			flush()
-			cur = &BasicBlock{Start: a}
+			blockArr = append(blockArr, BasicBlock{Start: a})
+			cur = &blockArr[len(blockArr)-1]
+			curStart = len(instrArr)
 		}
 		irb, err := lifter.Lift(a, in)
 		if err != nil {
 			return nil, err
 		}
-		cur.Instrs = append(cur.Instrs, in)
-		cur.IR = append(cur.IR, irb)
+		instrArr = append(instrArr, in)
+		irArr = append(irArr, irb)
 		if in.IsCall() {
 			cs := CallSite{Caller: entry, Addr: a, Block: cur.Start}
 			if in.Op == isa.OpCall {
@@ -480,13 +556,13 @@ func estimateParams(f *Function) int {
 	var scanExpr func(e ir.Expr)
 	scanExpr = func(e ir.Expr) {
 		switch e := e.(type) {
-		case ir.Get:
+		case *ir.Get:
 			if e.R < 4 && !written[e.R] {
 				used[e.R] = true
 			}
-		case ir.Load:
+		case *ir.Load:
 			scanExpr(e.Addr)
-		case ir.Binop:
+		case *ir.Binop:
 			scanExpr(e.L)
 			scanExpr(e.R)
 		}
@@ -495,19 +571,19 @@ func estimateParams(f *Function) int {
 		for _, irb := range f.Blocks[ba].IR {
 			for _, s := range irb.Stmts {
 				switch s := s.(type) {
-				case ir.WrTmp:
+				case *ir.WrTmp:
 					scanExpr(s.E)
-				case ir.Put:
+				case *ir.Put:
 					scanExpr(s.E)
 					if s.R < 4 {
 						written[s.R] = true
 					}
-				case ir.Store:
+				case *ir.Store:
 					scanExpr(s.Addr)
 					scanExpr(s.Val)
-				case ir.Exit:
+				case *ir.Exit:
 					scanExpr(s.Cond)
-				case ir.Call:
+				case *ir.Call:
 					// Calls clobber r0..r3; stop attributing later reads.
 					for r := isa.Reg(0); r < 4; r++ {
 						written[r] = true

@@ -78,8 +78,12 @@ func DBSCAN(points []Point, params Params) []Class {
 	n := len(points)
 	norm := maxNormalize(points)
 
+	// neighbors reuses one scratch buffer across queries: both call sites
+	// copy the result into the expansion queue before the next query, and a
+	// point has at most n neighbors, so the append below never reallocates.
+	scratch := make([]int, 0, n)
 	neighbors := func(i int) []int {
-		var out []int
+		out := scratch[:0]
 		for j := 0; j < n; j++ {
 			if dist(norm[i], norm[j]) <= params.Eps {
 				out = append(out, j)

@@ -5,6 +5,7 @@ import (
 
 	"fits/internal/binimg"
 	"fits/internal/cfg"
+	"fits/internal/intern"
 	"fits/internal/ir"
 	"fits/internal/isa"
 )
@@ -28,6 +29,16 @@ func CallSiteStrings(bin *binimg.Binary, m *cfg.Model, fn *cfg.Function) StringF
 // callee's parameter count is known externally (e.g. anchor import stubs,
 // whose trampolines read no registers of their own).
 func CallSiteStringsN(bin *binimg.Binary, m *cfg.Model, entry uint32, nargs int) StringFacts {
+	return CallSiteStringsInterned(bin, m, entry, nargs, nil)
+}
+
+// CallSiteStringsInterned is CallSiteStringsN with a string intern table:
+// classified constants are canonicalized through tab, so a string passed at
+// many call sites across many functions (format strings, configuration keys)
+// costs one allocation per analysis instead of one per sighting. A nil tab
+// still materializes each distinct string only once per call — classification
+// works on section views and the map lookup below is conversion-free.
+func CallSiteStringsInterned(bin *binimg.Binary, m *cfg.Model, entry uint32, nargs int, tab *intern.Table) StringFacts {
 	if nargs > 4 {
 		nargs = 4
 	}
@@ -43,9 +54,11 @@ func CallSiteStringsN(bin *binimg.Binary, m *cfg.Model, entry uint32, nargs int)
 			if !ok {
 				continue
 			}
-			if s, ok := ClassifyStringConstant(bin, c); ok {
+			if v, ok := classifyStringBytes(bin, c); ok {
 				facts.ArgsContainString = true
-				set[s] = true
+				if !set[string(v)] { // no-alloc lookup on repeats
+					set[tab.Bytes(v)] = true
+				}
 			}
 		}
 	}
@@ -176,17 +189,17 @@ func BacktrackArg(caller *cfg.Function, callAddr uint32, reg isa.Reg) ArgOrigin 
 // (a call or system primitive), which terminates backtracking.
 func putsTo(irb *ir.Block, reg isa.Reg) (e ir.Expr, found, stop bool) {
 	for i := len(irb.Stmts) - 1; i >= 0; i-- {
-		if p, ok := irb.Stmts[i].(ir.Put); ok && p.R == reg {
+		if p, ok := irb.Stmts[i].(*ir.Put); ok && p.R == reg {
 			return p.E, true, false
 		}
 		// A call clobbers argument registers: the value does not
 		// originate before it.
-		if _, ok := irb.Stmts[i].(ir.Call); ok {
+		if _, ok := irb.Stmts[i].(*ir.Call); ok {
 			if reg < 4 || reg == isa.LR {
 				return nil, false, true
 			}
 		}
-		if _, ok := irb.Stmts[i].(ir.Sys); ok && reg == isa.R0 {
+		if _, ok := irb.Stmts[i].(*ir.Sys); ok && reg == isa.R0 {
 			return nil, false, true
 		}
 	}
@@ -198,7 +211,7 @@ func putsTo(irb *ir.Block, reg isa.Reg) (e ir.Expr, found, stop bool) {
 func storesToSlot(irb *ir.Block, slot int32) (ir.Expr, bool) {
 	temps := map[ir.Temp]ir.Expr{}
 	for _, s := range irb.Stmts {
-		if w, ok := s.(ir.WrTmp); ok {
+		if w, ok := s.(*ir.WrTmp); ok {
 			temps[w.T] = w.E
 		}
 	}
@@ -209,17 +222,17 @@ func storesToSlot(irb *ir.Block, slot int32) (ir.Expr, bool) {
 			return 0, false
 		}
 		switch e := e.(type) {
-		case ir.Get:
+		case *ir.Get:
 			if e.R == isa.SP {
 				return 0, true
 			}
-		case ir.RdTmp:
+		case *ir.RdTmp:
 			if inner, ok := temps[e.T]; ok {
 				return spOff(inner, depth+1)
 			}
-		case ir.Binop:
+		case *ir.Binop:
 			if e.Op == ir.Add {
-				if c, ok := e.R.(ir.Const); ok {
+				if c, ok := e.R.(*ir.Const); ok {
 					if base, ok2 := spOff(e.L, depth+1); ok2 {
 						return base + int32(c.V), true
 					}
@@ -229,7 +242,7 @@ func storesToSlot(irb *ir.Block, slot int32) (ir.Expr, bool) {
 		return 0, false
 	}
 	for i := len(irb.Stmts) - 1; i >= 0; i-- {
-		st, ok := irb.Stmts[i].(ir.Store)
+		st, ok := irb.Stmts[i].(*ir.Store)
 		if !ok {
 			continue
 		}
@@ -264,7 +277,7 @@ type traceResult struct {
 func traceExpr(irb *ir.Block, e ir.Expr) traceResult {
 	temps := map[ir.Temp]ir.Expr{}
 	for _, s := range irb.Stmts {
-		if w, ok := s.(ir.WrTmp); ok {
+		if w, ok := s.(*ir.WrTmp); ok {
 			temps[w.T] = w.E
 		}
 	}
@@ -274,34 +287,34 @@ func traceExpr(irb *ir.Block, e ir.Expr) traceResult {
 			return traceResult{}
 		}
 		switch e := e.(type) {
-		case ir.Const:
+		case *ir.Const:
 			return traceResult{kind: traceConst, c: uint32(e.V)}
-		case ir.Get:
+		case *ir.Get:
 			return traceResult{kind: traceReg, reg: e.R}
-		case ir.RdTmp:
+		case *ir.RdTmp:
 			inner, ok := temps[e.T]
 			if !ok {
 				return traceResult{}
 			}
 			return walk(inner, depth+1)
-		case ir.Binop:
+		case *ir.Binop:
 			// Only additive offsets with a constant operand are folded,
 			// per Table 2's Binop(t, constant) rule.
 			if e.Op != ir.Add {
 				return traceResult{}
 			}
-			if rc, okc := e.R.(ir.Const); okc {
+			if rc, okc := e.R.(*ir.Const); okc {
 				r := walk(e.L, depth+1)
 				r.off += uint32(rc.V)
 				return r
 			}
-			if lc, okc := e.L.(ir.Const); okc {
+			if lc, okc := e.L.(*ir.Const); okc {
 				r := walk(e.R, depth+1)
 				r.off += uint32(lc.V)
 				return r
 			}
 			return traceResult{}
-		case ir.Load:
+		case *ir.Load:
 			// A word reloaded from a stack slot continues through the
 			// slot's last store.
 			if e.Size != isa.WordSize {
@@ -314,17 +327,17 @@ func traceExpr(irb *ir.Block, e ir.Expr) traceResult {
 					return 0, false
 				}
 				switch a := a.(type) {
-				case ir.Get:
+				case *ir.Get:
 					if a.R == isa.SP {
 						return 0, true
 					}
-				case ir.RdTmp:
+				case *ir.RdTmp:
 					if inner, ok := temps2[a.T]; ok {
 						return spOff(inner, depth+1)
 					}
-				case ir.Binop:
+				case *ir.Binop:
 					if a.Op == ir.Add {
-						if c, ok := a.R.(ir.Const); ok {
+						if c, ok := a.R.(*ir.Const); ok {
 							if base, ok2 := spOff(a.L, depth+1); ok2 {
 								return base + int32(c.V), true
 							}
@@ -349,29 +362,42 @@ func traceExpr(irb *ir.Block, e ir.Expr) traceResult {
 // pointers are dereferenced once (GOT-style indirection) and accepted if the
 // referenced location is itself a printable string in rodata or data.
 func ClassifyStringConstant(bin *binimg.Binary, c uint32) (string, bool) {
+	v, ok := classifyStringBytes(bin, c)
+	if !ok {
+		return "", false
+	}
+	return string(v), true
+}
+
+// classifyStringBytes is ClassifyStringConstant without materializing the
+// string: the returned bytes view the binary's sections, so callers that
+// intern or deduplicate decide for themselves when to allocate.
+func classifyStringBytes(bin *binimg.Binary, c uint32) ([]byte, bool) {
 	switch bin.SectionOf(c) {
 	case "rodata":
-		s, ok := bin.CString(c)
-		return s, ok && printable(s)
+		v, ok := bin.CStringBytes(c)
+		if ok && printable(v) {
+			return v, true
+		}
 	case "data":
 		// PT points into data: retrieve MT and follow one level.
 		if mt, ok := bin.WordAt(c); ok {
 			sec := bin.SectionOf(mt)
 			if sec == "rodata" || sec == "data" {
-				if s, ok := bin.CString(mt); ok && printable(s) {
-					return s, true
+				if v, ok := bin.CStringBytes(mt); ok && printable(v) {
+					return v, true
 				}
 			}
 		}
 		// Otherwise the data bytes themselves may hold a hint string.
-		if s, ok := bin.CString(c); ok && printable(s) && len(s) > 0 {
-			return s, true
+		if v, ok := bin.CStringBytes(c); ok && printable(v) && len(v) > 0 {
+			return v, true
 		}
 	}
-	return "", false
+	return nil, false
 }
 
-func printable(s string) bool {
+func printable(s []byte) bool {
 	if len(s) == 0 {
 		return false
 	}

@@ -288,10 +288,10 @@ func findStr(bin *binimg.Binary, s string) uint32 {
 }
 
 func TestPrintable(t *testing.T) {
-	if printable("") || printable("a\x01b") || printable("héllo") {
+	if printable([]byte("")) || printable([]byte("a\x01b")) || printable([]byte("héllo")) {
 		t.Error("printable accepts junk")
 	}
-	if !printable("user_name-42 ok") {
+	if !printable([]byte("user_name-42 ok")) {
 		t.Error("printable rejects plain ASCII")
 	}
 }

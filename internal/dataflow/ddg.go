@@ -217,27 +217,27 @@ func transferDDG(blk *cfg.BasicBlock, st defSet, record func(DefUse)) defSet {
 		var evalShape func(e ir.Expr) shape
 		evalShape = func(e ir.Expr) shape {
 			switch e := e.(type) {
-			case ir.Const:
+			case *ir.Const:
 				return shape{known: true}
-			case ir.Get:
+			case *ir.Get:
 				use(ddgLoc{isReg: true, reg: e.R})
 				if e.R == isa.SP {
 					return shape{isSP: true, known: true}
 				}
 				return shape{}
-			case ir.RdTmp:
+			case *ir.RdTmp:
 				return temps[e.T]
-			case ir.Binop:
+			case *ir.Binop:
 				l := evalShape(e.L)
 				r := evalShape(e.R)
 				if e.Op == ir.Add && l.isSP {
-					if c, ok := e.R.(ir.Const); ok {
+					if c, ok := e.R.(*ir.Const); ok {
 						return shape{isSP: true, off: l.off + int32(c.V), known: true}
 					}
 				}
 				_ = r
 				return shape{}
-			case ir.Load:
+			case *ir.Load:
 				a := evalShape(e.Addr)
 				if a.isSP {
 					use(ddgLoc{slot: a.off})
@@ -248,20 +248,20 @@ func transferDDG(blk *cfg.BasicBlock, st defSet, record func(DefUse)) defSet {
 		}
 		for _, s := range irb.Stmts {
 			switch s := s.(type) {
-			case ir.WrTmp:
+			case *ir.WrTmp:
 				temps[s.T] = evalShape(s.E)
-			case ir.Put:
+			case *ir.Put:
 				evalShape(s.E)
 				def(ddgLoc{isReg: true, reg: s.R})
-			case ir.Store:
+			case *ir.Store:
 				evalShape(s.Val)
 				a := evalShape(s.Addr)
 				if a.isSP {
 					def(ddgLoc{slot: a.off})
 				}
-			case ir.Exit:
+			case *ir.Exit:
 				evalShape(s.Cond)
-			case ir.Call:
+			case *ir.Call:
 				// Calls consume the argument registers and redefine the
 				// caller-saved set.
 				for r := isa.Reg(0); r < 4; r++ {
@@ -271,7 +271,7 @@ func transferDDG(blk *cfg.BasicBlock, st defSet, record func(DefUse)) defSet {
 					def(ddgLoc{isReg: true, reg: r})
 				}
 				def(ddgLoc{isReg: true, reg: isa.LR})
-			case ir.Sys:
+			case *ir.Sys:
 				def(ddgLoc{isReg: true, reg: isa.R0})
 			}
 		}

@@ -54,11 +54,38 @@ type analyzer struct {
 	facts   FlowFacts
 	record  bool
 	inLoop  map[uint32]bool
-	// callsAt maps call instruction addresses to their sites.
-	callsAt map[uint32][]cfg.CallSite
-	// temps is the per-block temporary environment, reused across transfer
-	// calls to avoid one map allocation per block visit.
-	temps map[ir.Temp]AVal
+	// temps is the per-block temporary environment, indexed by temp number
+	// (temps are numbered per function by the lifter, so the slice is dense).
+	// An entry is live only when its epoch matches the current one; bumping
+	// the epoch at each block start clears the environment without touching
+	// memory, and the slices grow geometrically instead of re-growing a map
+	// per Analyze call.
+	temps  []AVal
+	tepoch []uint32
+	epoch  uint32
+}
+
+func (a *analyzer) setTmp(t ir.Temp, v AVal) {
+	if int(t) >= len(a.temps) {
+		n := 2 * (int(t) + 1)
+		if n < 64 {
+			n = 64
+		}
+		temps := make([]AVal, n)
+		copy(temps, a.temps)
+		tepoch := make([]uint32, n)
+		copy(tepoch, a.tepoch)
+		a.temps, a.tepoch = temps, tepoch
+	}
+	a.temps[t] = v
+	a.tepoch[t] = a.epoch
+}
+
+func (a *analyzer) getTmp(t ir.Temp) (AVal, bool) {
+	if int(t) < len(a.temps) && a.tepoch[t] == a.epoch {
+		return a.temps[t], true
+	}
+	return AVal{}, false
 }
 
 // rpo returns the blocks reachable from the entry in reverse postorder,
@@ -108,18 +135,17 @@ func rpo(fn *cfg.Function) []uint32 {
 }
 
 func (a *analyzer) run() FlowFacts {
-	a.inLoop = map[uint32]bool{}
-	for _, lp := range a.fn.Loops {
-		for b := range lp.Body {
-			a.inLoop[b] = true
+	// Lazily built lookup tables: most functions have no loops and many have
+	// no calls, so empty maps would just be allocation noise on a path that
+	// runs once per function per vector extraction.
+	if len(a.fn.Loops) > 0 {
+		a.inLoop = make(map[uint32]bool, 8)
+		for _, lp := range a.fn.Loops {
+			for b := range lp.Body {
+				a.inLoop[b] = true
+			}
 		}
 	}
-	a.callsAt = map[uint32][]cfg.CallSite{}
-	for _, cs := range a.fn.Calls {
-		a.callsAt[cs.Addr] = append(a.callsAt[cs.Addr], cs)
-	}
-	a.temps = map[ir.Temp]AVal{}
-
 	var entry absState
 	for i := 0; i < a.fn.Params && i < 4; i++ {
 		entry.set(regLoc(isa.Reg(i)), AVal{Kind: KTop, Taint: ParamMask(1 << i)})
@@ -136,38 +162,41 @@ func (a *analyzer) run() FlowFacts {
 	for i, b := range order {
 		idx[b] = i
 	}
-	in := make([]absState, len(order))
-	dirty := make([]bool, len(order))
-	have := make([]bool, len(order))
+	// One node record per RPO position: input state plus the worklist bits,
+	// fused into a single allocation.
+	type node struct {
+		in    absState
+		dirty bool
+		have  bool
+	}
+	nodes := make([]node, len(order))
 	if len(order) > 0 {
-		in[0] = entry
-		have[0] = true
-		dirty[0] = true
+		nodes[0] = node{in: entry, have: true, dirty: true}
 	}
 	converged := len(order) == 0
 	for pass := 0; pass < maxPasses; pass++ {
 		pending := false
 		for i, b := range order {
-			if !dirty[i] {
+			if !nodes[i].dirty {
 				continue
 			}
-			dirty[i] = false
+			nodes[i].dirty = false
 			blk := a.fn.Blocks[b]
-			out := in[i].clone()
+			out := nodes[i].in.clone()
 			a.transfer(blk, &out)
 			for _, succ := range blk.Succs {
 				si, ok := idx[succ]
 				if !ok {
 					continue
 				}
-				if !have[si] {
-					in[si] = out.clone()
-					have[si] = true
-				} else if !in[si].join(&out) {
+				if !nodes[si].have {
+					nodes[si].in = out.clone()
+					nodes[si].have = true
+				} else if !nodes[si].in.join(&out) {
 					continue
 				}
-				if !dirty[si] {
-					dirty[si] = true
+				if !nodes[si].dirty {
+					nodes[si].dirty = true
 					if si <= i {
 						pending = true // back edge: needs another pass
 					}
@@ -187,83 +216,85 @@ func (a *analyzer) run() FlowFacts {
 	a.record = true
 	for _, ba := range a.fn.Order {
 		i, ok := idx[ba]
-		if !ok || !have[i] {
+		if !ok || !nodes[i].have {
 			continue
 		}
-		st := in[i].clone()
+		st := nodes[i].in.clone()
 		a.transfer(a.fn.Blocks[ba], &st)
 	}
 	return a.facts
 }
 
-// transfer interprets one basic block over an abstract state, mutating st.
-func (a *analyzer) transfer(blk *cfg.BasicBlock, st *absState) {
-	temps := a.temps
-	clear(temps)
-	var eval func(e ir.Expr) AVal
-	eval = func(e ir.Expr) AVal {
-		switch e := e.(type) {
-		case ir.Const:
-			return AVal{Kind: KConst, C: int32(e.V)}
-		case ir.RdTmp:
-			if v, ok := temps[e.T]; ok {
-				return v
-			}
-			return AVal{Kind: KTop}
-		case ir.Get:
-			return st.get(regLoc(e.R))
-		case ir.Binop:
-			l, r := eval(e.L), eval(e.R)
-			t := l.Taint | r.Taint
-			switch {
-			case l.Kind == KConst && r.Kind == KConst:
-				return AVal{Kind: KConst, C: foldConst(e.Op, l.C, r.C), Taint: t}
-			case e.Op == ir.Add && l.Kind == KSPRel && r.Kind == KConst:
-				return AVal{Kind: KSPRel, C: l.C + r.C, Taint: t}
-			case e.Op == ir.Add && l.Kind == KConst && r.Kind == KSPRel:
-				return AVal{Kind: KSPRel, C: r.C + l.C, Taint: t}
-			case e.Op == ir.Sub && l.Kind == KSPRel && r.Kind == KConst:
-				return AVal{Kind: KSPRel, C: l.C - r.C, Taint: t}
-			}
-			return top(t)
-		case ir.Load:
-			addr := eval(e.Addr)
-			switch addr.Kind {
-			case KSPRel:
-				v := st.get(slotLoc(addr.C))
-				v.Taint |= addr.Taint
-				return v
-			case KConst:
-				v := st.get(globLoc(uint32(addr.C)))
-				v.Taint |= addr.Taint
-				return AVal{Kind: KTop, Taint: v.Taint}
-			}
-			// Dereferencing a parameter-derived pointer yields
-			// parameter-derived data.
-			return top(addr.Taint)
+// eval computes one IR expression over the abstract state. A method rather
+// than a closure inside transfer: transfer runs once per block visit on the
+// pipeline's hottest path, and the closure pair (function object plus the
+// captured recursion cell) was one heap allocation per visit each.
+func (a *analyzer) eval(e ir.Expr, st *absState) AVal {
+	switch e := e.(type) {
+	case *ir.Const:
+		return AVal{Kind: KConst, C: int32(e.V)}
+	case *ir.RdTmp:
+		if v, ok := a.getTmp(e.T); ok {
+			return v
 		}
 		return AVal{Kind: KTop}
+	case *ir.Get:
+		return st.get(regLoc(e.R))
+	case *ir.Binop:
+		l, r := a.eval(e.L, st), a.eval(e.R, st)
+		t := l.Taint | r.Taint
+		switch {
+		case l.Kind == KConst && r.Kind == KConst:
+			return AVal{Kind: KConst, C: foldConst(e.Op, l.C, r.C), Taint: t}
+		case e.Op == ir.Add && l.Kind == KSPRel && r.Kind == KConst:
+			return AVal{Kind: KSPRel, C: l.C + r.C, Taint: t}
+		case e.Op == ir.Add && l.Kind == KConst && r.Kind == KSPRel:
+			return AVal{Kind: KSPRel, C: r.C + l.C, Taint: t}
+		case e.Op == ir.Sub && l.Kind == KSPRel && r.Kind == KConst:
+			return AVal{Kind: KSPRel, C: l.C - r.C, Taint: t}
+		}
+		return top(t)
+	case *ir.Load:
+		addr := a.eval(e.Addr, st)
+		switch addr.Kind {
+		case KSPRel:
+			v := st.get(slotLoc(addr.C))
+			v.Taint |= addr.Taint
+			return v
+		case KConst:
+			v := st.get(globLoc(uint32(addr.C)))
+			v.Taint |= addr.Taint
+			return AVal{Kind: KTop, Taint: v.Taint}
+		}
+		// Dereferencing a parameter-derived pointer yields
+		// parameter-derived data.
+		return top(addr.Taint)
 	}
+	return AVal{Kind: KTop}
+}
 
+// transfer interprets one basic block over an abstract state, mutating st.
+func (a *analyzer) transfer(blk *cfg.BasicBlock, st *absState) {
+	a.epoch++
 	for _, irb := range blk.IR {
 		for _, s := range irb.Stmts {
 			switch s := s.(type) {
-			case ir.WrTmp:
-				temps[s.T] = eval(s.E)
-			case ir.Put:
-				st.set(regLoc(s.R), eval(s.E))
-			case ir.Store:
-				addr := eval(s.Addr)
-				val := eval(s.Val)
+			case *ir.WrTmp:
+				a.setTmp(s.T, a.eval(s.E, st))
+			case *ir.Put:
+				st.set(regLoc(s.R), a.eval(s.E, st))
+			case *ir.Store:
+				addr := a.eval(s.Addr, st)
+				val := a.eval(s.Val, st)
 				switch addr.Kind {
 				case KSPRel:
 					st.set(slotLoc(addr.C), val)
 				case KConst:
 					st.set(globLoc(uint32(addr.C)), val)
 				}
-			case ir.Exit:
+			case *ir.Exit:
 				if a.record {
-					cond := eval(s.Cond)
+					cond := a.eval(s.Cond, st)
 					if cond.Taint.Has() {
 						a.facts.ParamControlsBranch = true
 						if a.inLoop[blk.Start] {
@@ -271,9 +302,15 @@ func (a *analyzer) transfer(blk *cfg.BasicBlock, st *absState) {
 						}
 					}
 				}
-			case ir.Call:
+			case *ir.Call:
 				if a.record && a.anchors != nil {
-					for _, cs := range a.callsAt[irb.Addr] {
+					// Linear scan: the record pass visits each block once
+					// and functions have few call sites, so an index map
+					// would cost more to build than it saves.
+					for _, cs := range a.fn.Calls {
+						if cs.Addr != irb.Addr {
+							continue
+						}
 						info := a.anchors(cs)
 						if !info.Anchor {
 							continue
@@ -297,11 +334,11 @@ func (a *analyzer) transfer(blk *cfg.BasicBlock, st *absState) {
 				}
 				st.set(regLoc(isa.R0), top(t))
 				st.set(regLoc(isa.LR), AVal{Kind: KTop})
-			case ir.Ret:
+			case *ir.Ret:
 				if a.record && st.get(regLoc(isa.R0)).Taint.Has() {
 					a.facts.TaintedReturn = true
 				}
-			case ir.Sys:
+			case *ir.Sys:
 				st.set(regLoc(isa.R0), AVal{Kind: KTop})
 			}
 		}

@@ -22,16 +22,16 @@ func loopFn() *cfg.Function {
 	a := blk(0x0, nil, 0x10)
 	b := blk(0x10, []ir.Stmt{
 		// r2 = r1: observable only once r1 carries taint (second pass).
-		ir.WrTmp{T: 0, E: ir.Get{R: isa.Reg(1)}},
-		ir.Put{R: isa.Reg(2), E: ir.RdTmp{T: 0}},
+		&ir.WrTmp{T: 0, E: &ir.Get{R: isa.Reg(1)}},
+		&ir.Put{R: isa.Reg(2), E: &ir.RdTmp{T: 0}},
 	}, 0x20)
 	c := blk(0x20, []ir.Stmt{
 		// r1 = r0: moves the parameter taint into r1 before looping back.
-		ir.WrTmp{T: 1, E: ir.Get{R: isa.Reg(0)}},
-		ir.Put{R: isa.Reg(1), E: ir.RdTmp{T: 1}},
+		&ir.WrTmp{T: 1, E: &ir.Get{R: isa.Reg(0)}},
+		&ir.Put{R: isa.Reg(1), E: &ir.RdTmp{T: 1}},
 		// Branch on r2 so the converged loop records param-controls-branch.
-		ir.WrTmp{T: 2, E: ir.Get{R: isa.Reg(2)}},
-		ir.Exit{Cond: ir.RdTmp{T: 2}, Target: 0x10},
+		&ir.WrTmp{T: 2, E: &ir.Get{R: isa.Reg(2)}},
+		&ir.Exit{Cond: &ir.RdTmp{T: 2}, Target: 0x10},
 	}, 0x10)
 	return &cfg.Function{
 		Entry:  0x0,

@@ -78,7 +78,7 @@ func inferredITS(s *synth.Sample, t *loader.Target) []uint32 {
 func RunBugEngine(s *synth.Sample, kind EngineKind) BugResult {
 	start := time.Now()
 	out := BugResult{Manifest: s.Manifest, Engine: kind, FoundFlows: map[uint32]bool{}}
-	res, err := loadCached(s.Packed)
+	res, err := loadCached(s.Packed, nil)
 	if err != nil {
 		out.Elapsed = time.Since(start)
 		return out

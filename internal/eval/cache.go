@@ -4,6 +4,7 @@ import (
 	"fits/internal/infer"
 	"fits/internal/loader"
 	"fits/internal/modelcache"
+	"fits/internal/pool"
 )
 
 // sharedCache backs every corpus experiment: the RQ sweeps and ablations
@@ -18,9 +19,11 @@ var sharedCache = modelcache.New(0, 0)
 // CacheStats exposes the shared cache's counters (benchmark reporting).
 func CacheStats() modelcache.Stats { return sharedCache.Stats() }
 
-// loadCached loads one packed sample through the shared cache.
-func loadCached(packed []byte) (*loader.Result, error) {
-	return loader.Load(packed, loader.Options{Cache: sharedCache})
+// loadCached loads one packed sample through the shared cache. A non-nil
+// sched draws the model-building fan-out from the corpus-level worker budget
+// (batched sweeps); nil keeps the loader's own per-call pool.
+func loadCached(packed []byte, sched *pool.Scheduler) (*loader.Result, error) {
+	return loader.Load(packed, loader.Options{Cache: sharedCache, Sched: sched})
 }
 
 // cached attaches the shared cache to an inference configuration.

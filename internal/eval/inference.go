@@ -5,12 +5,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"fits/internal/infer"
+	"fits/internal/pool"
 	"fits/internal/synth"
 )
 
@@ -63,7 +65,7 @@ func itsRank(man *synth.Manifest, rankings []*infer.Ranking) int {
 func RunInference(s *synth.Sample, cfg infer.Config) InferenceResult {
 	start := time.Now()
 	out := InferenceResult{Manifest: s.Manifest}
-	res, err := loadCached(s.Packed)
+	res, err := loadCached(s.Packed, cfg.Sched)
 	if err != nil {
 		out.LoadErr = err
 		out.Elapsed = time.Since(start)
@@ -76,11 +78,23 @@ func RunInference(s *synth.Sample, cfg infer.Config) InferenceResult {
 }
 
 // RunInferenceCorpus evaluates the whole corpus under a configuration.
+// Samples are batched onto one corpus-level scheduler (cfg.Sched, or a fresh
+// one sized from cfg.Parallelism): sample-level and per-function fan-outs
+// draw from a single worker budget, so a sweep never oversubscribes the
+// machine by multiplying the two. Results are positionally identical to the
+// sequential loop at every worker count; only the per-sample Elapsed — wall
+// time under concurrency — differs.
 func RunInferenceCorpus(samples []*synth.Sample, cfg infer.Config) []InferenceResult {
-	out := make([]InferenceResult, 0, len(samples))
-	for _, s := range samples {
-		out = append(out, RunInference(s, cfg))
+	if cfg.Sched == nil {
+		cfg.Sched = pool.NewScheduler(cfg.Parallelism)
 	}
+	out := make([]InferenceResult, len(samples))
+	//fitslint:ignore ctxflow experiment harness entry point; sweeps run to completion
+	ctx := context.Background()
+	_ = cfg.Sched.ForEach(ctx, len(samples), func(i int) error {
+		out[i] = RunInference(samples[i], cfg)
+		return nil
+	})
 	return out
 }
 

@@ -236,6 +236,8 @@ func unwrapStream(src []byte) ([]byte, error) {
 }
 
 // decodeFS parses a cleartext filesystem payload and verifies its checksum.
+// File data in the returned image aliases src (views, not copies); callers
+// own src and must not modify it while the image is live.
 func decodeFS(src []byte) (*Image, error) {
 	if !bytes.HasPrefix(src, MagicFS) {
 		return nil, ErrCorrupt
@@ -282,8 +284,9 @@ func decodeFS(src []byte) (*Image, error) {
 		if err != nil || off+int(n) > len(src) {
 			return nil, ErrCorrupt
 		}
-		data := make([]byte, n)
-		copy(data, src[off:off+int(n)])
+		// Zero-copy: the file's bytes are a capped view over the payload, not
+		// a copy. The cap stops appends from clobbering the next entry.
+		data := src[off : off+int(n) : off+int(n)]
 		off += int(n)
 		im.Files = append(im.Files, File{Path: path, Data: data})
 	}
@@ -300,6 +303,12 @@ func decodeFS(src []byte) (*Image, error) {
 // Unpack carves and decodes a firmware image from an arbitrary byte stream.
 // It scans for any known magic (filesystem or vendor wrapper) at any offset,
 // unwraps encodings, and parses the filesystem.
+//
+// Unpacking is zero-copy: for a plaintext image the files' Data slices are
+// views into raw itself; for an encoded image they are views into the single
+// buffer the vendor layer was decrypted into. Either way raw must not be
+// modified while the returned image (or anything decoded from its files) is
+// in use.
 func Unpack(raw []byte) (*Image, error) {
 	type candidate struct {
 		off    int

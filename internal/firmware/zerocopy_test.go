@@ -1,0 +1,98 @@
+package firmware
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testImage returns an image with one large file so copy costs would be
+// visible in both the alias check and the allocation count.
+func testImage() *Image {
+	big := bytes.Repeat([]byte{0xAB, 0xCD, 0xEF, 0x01}, 4096)
+	return &Image{
+		Vendor:  "acme",
+		Product: "router",
+		Version: "1.0",
+		Files: []File{
+			{Path: "bin/httpd", Data: big},
+			{Path: "etc/conf", Data: []byte("port=80\n")},
+		},
+	}
+}
+
+// TestUnpackPlainAliasesInput proves the plain-scheme decode is zero-copy:
+// file data in the unpacked image is a view over the raw input, so mutating
+// the input shows through the view.
+func TestUnpackPlainAliasesInput(t *testing.T) {
+	raw := testImage().Pack(PackOptions{Scheme: SchemeNone, Padding: 64, PadSeed: 3})
+	im, err := Unpack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := im.Lookup("bin/httpd")
+	if !ok || len(f.Data) == 0 {
+		t.Fatal("missing file")
+	}
+	idx := bytes.Index(raw, f.Data)
+	if idx < 0 {
+		t.Fatal("file bytes not found in raw input")
+	}
+	raw[idx] ^= 0xFF
+	if f.Data[0] != raw[idx] {
+		t.Fatal("file data is a copy, want a view over the input")
+	}
+	raw[idx] ^= 0xFF
+	// The view must be capped: appending to it may not clobber the bytes of
+	// the next field in the container.
+	if cap(f.Data) != len(f.Data) {
+		t.Fatalf("file view not capped: len %d cap %d", len(f.Data), cap(f.Data))
+	}
+}
+
+// TestUnpackPlainAllocBudget pins the plain-scheme unpack to a small constant
+// allocation count: headers, the file slice, and path strings — never the
+// file contents. A copying decode of the 16 KiB file would blow the budget
+// immediately.
+func TestUnpackPlainAllocBudget(t *testing.T) {
+	raw := testImage().Pack(PackOptions{Scheme: SchemeNone, Padding: 64, PadSeed: 3})
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Unpack(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Observed ~12; the slack absorbs runtime jitter, not a data copy.
+	if allocs > 24 {
+		t.Fatalf("plain Unpack allocates %v objects per run, want <= 24", allocs)
+	}
+}
+
+// TestUnpackStreamSingleBuffer checks the encrypted path decrypts once into a
+// single buffer that the files then view: file data aliases the decrypted
+// payload rather than being copied out of it.
+func TestUnpackStreamSingleBuffer(t *testing.T) {
+	raw := testImage().Pack(PackOptions{Scheme: SchemeStream, Key: 0xdead, Padding: 32, PadSeed: 7})
+	idx := bytes.Index(raw, MagicStream)
+	if idx < 0 {
+		t.Fatal("stream magic not found")
+	}
+	payload, err := unwrapStream(raw[idx:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := decodeFS(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := im.Lookup("bin/httpd")
+	if !ok || len(a.Data) == 0 {
+		t.Fatal("missing file")
+	}
+	pi := bytes.Index(payload, a.Data)
+	if pi < 0 {
+		t.Fatal("file bytes not found in decrypted payload")
+	}
+	payload[pi] ^= 0xFF
+	if a.Data[0] != payload[pi] {
+		t.Fatal("file data is a copy, want a view over the decode buffer")
+	}
+}

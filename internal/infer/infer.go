@@ -20,6 +20,7 @@ import (
 	"fits/internal/cfg"
 	"fits/internal/cluster"
 	"fits/internal/dataflow"
+	"fits/internal/intern"
 	"fits/internal/loader"
 	"fits/internal/modelcache"
 	"fits/internal/pool"
@@ -90,6 +91,22 @@ type Config struct {
 	// Parallelism bounds the goroutines extracting per-function vectors;
 	// 0 means runtime.GOMAXPROCS(0). Output is deterministic at any value.
 	Parallelism int
+	// Sched, when non-nil, draws every fan-out from a shared corpus-level
+	// worker budget instead of sizing a per-call pool from Parallelism.
+	// Batched corpus runs hand one Scheduler to every image's pipeline.
+	Sched *pool.Scheduler
+	// Intern canonicalizes strings materialized during extraction (call-site
+	// constants); nil disables interning. Rankings are byte-identical either
+	// way.
+	Intern *intern.Table
+	// Clock, AllocCount and OnReachDef instrument the reaching-definition
+	// sub-stage: when Clock and OnReachDef are both set, each per-function
+	// dataflow pass reports its wall time (and heap-object count, with
+	// AllocCount) through OnReachDef. Injected by impure callers; this
+	// package reads no clocks itself.
+	Clock      func() int64
+	AllocCount func() int64
+	OnReachDef func(wallNanos, allocObjs int64)
 	// Cache memoizes the per-target base vectors (custom functions and
 	// anchors) by binary content hash and representation. Variant sweeps
 	// that only mask features (DropFeature) or change strategy/metric derive
@@ -127,6 +144,28 @@ func (r *Ranking) Top(k int) []score.Ranked {
 		k = len(r.Ranked)
 	}
 	return r.Ranked[:k]
+}
+
+// forEach fans n items out on the shared scheduler when the config carries
+// one, or on a per-call pool sized by Parallelism otherwise. Both paths have
+// identical error semantics and item i writes only slot i, so results do not
+// depend on which path (or worker count) ran.
+func forEach(ctx context.Context, cfgn Config, n int, fn func(i int) error) error {
+	if cfgn.Sched != nil {
+		return cfgn.Sched.ForEach(ctx, n, fn)
+	}
+	return pool.ForEach(ctx, cfgn.Parallelism, n, fn)
+}
+
+// newExtractor builds a bfv extractor wired with the config's intern table
+// and reaching-definition instrumentation.
+func newExtractor(bin *binimg.Binary, m *cfg.Model, cfgn Config) *bfv.Extractor {
+	ex := bfv.New(bin, m)
+	ex.Intern = cfgn.Intern
+	ex.Clock = cfgn.Clock
+	ex.AllocCount = cfgn.AllocCount
+	ex.OnReachDef = cfgn.OnReachDef
+	return ex
 }
 
 // vectorFor computes one function's representation vector.
@@ -183,9 +222,9 @@ func customVectors(ctx context.Context, t *loader.Target, cfgn Config, customs [
 		if err != nil {
 			return nil, err
 		}
-		ex := bfv.New(t.Bin, t.Model)
+		ex := newExtractor(t.Bin, t.Model, cfgn)
 		out := make([]bfv.Vector, len(customs))
-		err = pool.ForEach(ctx, cfgn.Parallelism, len(customs), func(i int) error {
+		err = forEach(ctx, cfgn, len(customs), func(i int) error {
 			if j, ok := prevIdx[customs[i].Entry]; ok {
 				out[i] = prevVecs[j]
 				return nil
@@ -345,7 +384,7 @@ func extractAnchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([
 	for _, lib := range libs {
 		bin := t.Libs[lib]
 		m := t.LibModels[lib]
-		ex := bfv.New(bin, m)
+		ex := newExtractor(bin, m, cfgn)
 		ex.ExtraCallers = map[uint32]int{}
 		for _, e := range bin.Exports {
 			if _, ok := t.Anchors[e.Name]; ok {
@@ -365,11 +404,11 @@ func extractAnchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([
 		}
 	}
 	out := make([]bfv.Vector, len(jobs))
-	err := pool.ForEach(ctx, cfgn.Parallelism, len(jobs), func(i int) error {
+	err := forEach(ctx, cfgn, len(jobs), func(i int) error {
 		j := jobs[i]
 		vec := vectorFor(cfgn.Representation, j.ex, j.bin, j.m, j.f)
 		if cfgn.Representation == RepBFV {
-			mergeTargetStrings(t, j.name, j.arity, &vec)
+			mergeTargetStrings(t, j.name, j.arity, cfgn.Intern, &vec)
 		}
 		out[i] = vec
 		return nil
@@ -383,12 +422,12 @@ func extractAnchorVectors(ctx context.Context, t *loader.Target, cfgn Config) ([
 // mergeTargetStrings folds the target binary's call sites of an anchor's PLT
 // stub into the anchor's interprocedural string features: an anchor is
 // called from the whole firmware, not only from inside its own library.
-func mergeTargetStrings(t *loader.Target, name string, arity int, vec *bfv.Vector) {
+func mergeTargetStrings(t *loader.Target, name string, arity int, tab *intern.Table, vec *bfv.Vector) {
 	stub, ok := findStub(t.Bin, name)
 	if !ok {
 		return
 	}
-	sf := dataflow.CallSiteStringsN(t.Bin, t.Model, stub, arity)
+	sf := dataflow.CallSiteStringsInterned(t.Bin, t.Model, stub, arity, tab)
 	if sf.ArgsContainString {
 		(*vec)[bfv.FArgStrings] = 1
 	}
@@ -560,7 +599,7 @@ func InferAll(res *loader.Result, cfgn Config) []*Ranking {
 // Rankings are returned in target order regardless of completion order.
 func InferAllContext(ctx context.Context, res *loader.Result, cfgn Config) ([]*Ranking, error) {
 	out := make([]*Ranking, len(res.Targets))
-	err := pool.ForEach(ctx, cfgn.Parallelism, len(res.Targets), func(i int) error {
+	err := forEach(ctx, cfgn, len(res.Targets), func(i int) error {
 		r, err := InferTargetContext(ctx, res.Targets[i], cfgn)
 		if err != nil {
 			return err

@@ -19,7 +19,12 @@ type Temp int
 
 func (t Temp) String() string { return fmt.Sprintf("t%d", int(t)) }
 
-// Expr is an IR expression: Const, RdTmp, Get, Load or Binop.
+// Expr is an IR expression: Const, RdTmp, Get, Load or Binop. Expressions
+// are held as pointers (only *Const etc. implement Expr): the lifter carves
+// nodes out of typed arenas, so building a function costs a handful of chunk
+// allocations instead of one interface box per node. Nodes are immutable
+// after construction — several expressions may share one node (small
+// constants, register reads), and cached models share nodes across analyses.
 type Expr interface {
 	isExpr()
 	String() string
@@ -79,19 +84,20 @@ type Binop struct {
 	L, R Expr
 }
 
-func (Const) isExpr() {}
-func (RdTmp) isExpr() {}
-func (Get) isExpr()   {}
-func (Load) isExpr()  {}
-func (Binop) isExpr() {}
+func (*Const) isExpr() {}
+func (*RdTmp) isExpr() {}
+func (*Get) isExpr()   {}
+func (*Load) isExpr()  {}
+func (*Binop) isExpr() {}
 
-func (c Const) String() string { return fmt.Sprintf("0x%x", uint64(c.V)) }
-func (r RdTmp) String() string { return r.T.String() }
-func (g Get) String() string   { return fmt.Sprintf("GET(%s)", g.R) }
-func (l Load) String() string  { return fmt.Sprintf("Load%d(%s)", l.Size*8, l.Addr) }
-func (b Binop) String() string { return fmt.Sprintf("%s(%s,%s)", b.Op, b.L, b.R) }
+func (c *Const) String() string { return fmt.Sprintf("0x%x", uint64(c.V)) }
+func (r *RdTmp) String() string { return r.T.String() }
+func (g *Get) String() string   { return fmt.Sprintf("GET(%s)", g.R) }
+func (l *Load) String() string  { return fmt.Sprintf("Load%d(%s)", l.Size*8, l.Addr) }
+func (b *Binop) String() string { return fmt.Sprintf("%s(%s,%s)", b.Op, b.L, b.R) }
 
-// Stmt is an IR statement.
+// Stmt is an IR statement. Like Expr, statements are pointer-implemented
+// arena nodes; see the Expr comment for the ownership rules.
 type Stmt interface {
 	isStmt()
 	String() string
@@ -155,28 +161,28 @@ type Ret struct{}
 // Sys invokes a system primitive (terminal library behaviour).
 type Sys struct{ Num int32 }
 
-func (WrTmp) isStmt() {}
-func (Put) isStmt()   {}
-func (Store) isStmt() {}
-func (Exit) isStmt()  {}
-func (Jump) isStmt()  {}
-func (Call) isStmt()  {}
-func (Ret) isStmt()   {}
-func (Sys) isStmt()   {}
+func (*WrTmp) isStmt() {}
+func (*Put) isStmt()   {}
+func (*Store) isStmt() {}
+func (*Exit) isStmt()  {}
+func (*Jump) isStmt()  {}
+func (*Call) isStmt()  {}
+func (*Ret) isStmt()   {}
+func (*Sys) isStmt()   {}
 
-func (s WrTmp) String() string { return fmt.Sprintf("%s = %s", s.T, s.E) }
-func (s Put) String() string   { return fmt.Sprintf("PUT(%s) = %s", s.R, s.E) }
-func (s Store) String() string {
+func (s *WrTmp) String() string { return fmt.Sprintf("%s = %s", s.T, s.E) }
+func (s *Put) String() string   { return fmt.Sprintf("PUT(%s) = %s", s.R, s.E) }
+func (s *Store) String() string {
 	return fmt.Sprintf("Store%d(%s) = %s", s.Size*8, s.Addr, s.Val)
 }
-func (s Exit) String() string { return fmt.Sprintf("if (%s) goto 0x%x", s.Cond, s.Target) }
-func (s Jump) String() string {
+func (s *Exit) String() string { return fmt.Sprintf("if (%s) goto 0x%x", s.Cond, s.Target) }
+func (s *Jump) String() string {
 	if s.Dyn != nil {
 		return fmt.Sprintf("goto %s", s.Dyn)
 	}
 	return fmt.Sprintf("goto 0x%x", s.Target)
 }
-func (s Call) String() string {
+func (s *Call) String() string {
 	switch s.Kind {
 	case CallIndirect:
 		return fmt.Sprintf("call %s", s.Dyn)
@@ -186,8 +192,8 @@ func (s Call) String() string {
 		return fmt.Sprintf("call 0x%x", s.Target)
 	}
 }
-func (Ret) String() string   { return "ret" }
-func (s Sys) String() string { return fmt.Sprintf("sys %d", s.Num) }
+func (*Ret) String() string   { return "ret" }
+func (s *Sys) String() string { return fmt.Sprintf("sys %d", s.Num) }
 
 // Block is the lifted form of a single machine instruction: a short list of
 // statements sharing one temporary namespace with the rest of the function.

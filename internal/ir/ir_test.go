@@ -23,11 +23,11 @@ func TestLiftMovi(t *testing.T) {
 	if len(b.Stmts) != 1 {
 		t.Fatalf("got %d stmts", len(b.Stmts))
 	}
-	p, ok := b.Stmts[0].(Put)
+	p, ok := b.Stmts[0].(*Put)
 	if !ok || p.R != isa.R2 {
 		t.Fatalf("stmt = %v", b.Stmts[0])
 	}
-	if c, ok := p.E.(Const); !ok || c.V != 77 {
+	if c, ok := p.E.(*Const); !ok || c.V != 77 {
 		t.Fatalf("value = %v", p.E)
 	}
 }
@@ -38,15 +38,15 @@ func TestLiftAdd(t *testing.T) {
 	if len(b.Stmts) != 4 {
 		t.Fatalf("got %d stmts: %v", len(b.Stmts), b)
 	}
-	w, ok := b.Stmts[2].(WrTmp)
+	w, ok := b.Stmts[2].(*WrTmp)
 	if !ok {
 		t.Fatalf("stmt 2 = %v", b.Stmts[2])
 	}
-	bo, ok := w.E.(Binop)
+	bo, ok := w.E.(*Binop)
 	if !ok || bo.Op != Add {
 		t.Fatalf("expr = %v", w.E)
 	}
-	p := b.Stmts[3].(Put)
+	p := b.Stmts[3].(*Put)
 	if p.R != isa.R0 {
 		t.Errorf("dest = %v", p.R)
 	}
@@ -56,8 +56,8 @@ func TestLiftLoadStore(t *testing.T) {
 	b := lift1(t, isa.Instr{Op: isa.OpLdw, Rd: isa.R4, Rs1: isa.R5, Imm: 12})
 	var foundLoad bool
 	for _, s := range b.Stmts {
-		if w, ok := s.(WrTmp); ok {
-			if l, ok := w.E.(Load); ok {
+		if w, ok := s.(*WrTmp); ok {
+			if l, ok := w.E.(*Load); ok {
 				foundLoad = true
 				if l.Size != isa.WordSize {
 					t.Errorf("load size = %d", l.Size)
@@ -72,7 +72,7 @@ func TestLiftLoadStore(t *testing.T) {
 	b = lift1(t, isa.Instr{Op: isa.OpStb, Rs1: isa.R5, Rs2: isa.R6, Imm: 3})
 	var foundStore bool
 	for _, s := range b.Stmts {
-		if st, ok := s.(Store); ok {
+		if st, ok := s.(*Store); ok {
 			foundStore = true
 			if st.Size != 1 {
 				t.Errorf("store size = %d", st.Size)
@@ -87,7 +87,7 @@ func TestLiftLoadStore(t *testing.T) {
 func TestLiftBranch(t *testing.T) {
 	b := lift1(t, isa.Instr{Op: isa.OpBne, Rs1: isa.R0, Rs2: isa.R1, Imm: 0x2000})
 	last := b.Stmts[len(b.Stmts)-1]
-	e, ok := last.(Exit)
+	e, ok := last.(*Exit)
 	if !ok {
 		t.Fatalf("last stmt = %v", last)
 	}
@@ -95,18 +95,18 @@ func TestLiftBranch(t *testing.T) {
 		t.Errorf("target = %#x", e.Target)
 	}
 	// Condition must be a CmpNE binop temporary.
-	w := b.Stmts[len(b.Stmts)-2].(WrTmp)
-	if bo := w.E.(Binop); bo.Op != CmpNE {
+	w := b.Stmts[len(b.Stmts)-2].(*WrTmp)
+	if bo := w.E.(*Binop); bo.Op != CmpNE {
 		t.Errorf("cond op = %v", bo.Op)
 	}
 }
 
 func TestLiftCalls(t *testing.T) {
 	b := lift1(t, isa.Instr{Op: isa.OpCall, Imm: 0x3000})
-	var c Call
+	var c *Call
 	var found bool
 	for _, s := range b.Stmts {
-		if cs, ok := s.(Call); ok {
+		if cs, ok := s.(*Call); ok {
 			c, found = cs, true
 		}
 	}
@@ -114,18 +114,18 @@ func TestLiftCalls(t *testing.T) {
 		t.Fatalf("call = %+v found=%v", c, found)
 	}
 	// LR must receive the return address.
-	p, ok := b.Stmts[0].(Put)
+	p, ok := b.Stmts[0].(*Put)
 	if !ok || p.R != isa.LR {
 		t.Fatalf("first stmt = %v", b.Stmts[0])
 	}
-	if cv := p.E.(Const); cv.V != 0x1000+isa.Width {
+	if cv := p.E.(*Const); cv.V != 0x1000+isa.Width {
 		t.Errorf("return addr = %#x", cv.V)
 	}
 
 	b = lift1(t, isa.Instr{Op: isa.OpCallr, Rs1: isa.R7})
 	found = false
 	for _, s := range b.Stmts {
-		if cs, ok := s.(Call); ok && cs.Kind == CallIndirect {
+		if cs, ok := s.(*Call); ok && cs.Kind == CallIndirect {
 			found = true
 		}
 	}
@@ -134,11 +134,11 @@ func TestLiftCalls(t *testing.T) {
 	}
 
 	b = lift1(t, isa.Instr{Op: isa.OpTramp, Imm: 0x9000})
-	cs, ok := b.Stmts[0].(Call)
+	cs, ok := b.Stmts[0].(*Call)
 	if !ok || cs.Kind != CallTramp || cs.GOT != 0x9000 {
 		t.Fatalf("tramp = %v", b.Stmts[0])
 	}
-	if _, ok := b.Stmts[1].(Ret); !ok {
+	if _, ok := b.Stmts[1].(*Ret); !ok {
 		t.Error("tramp must be followed by ret")
 	}
 }
@@ -148,9 +148,9 @@ func TestLiftPushPop(t *testing.T) {
 	var gotStore, gotSPPut bool
 	for _, s := range b.Stmts {
 		switch s := s.(type) {
-		case Store:
+		case *Store:
 			gotStore = true
-		case Put:
+		case *Put:
 			if s.R == isa.SP {
 				gotSPPut = true
 			}
@@ -164,11 +164,11 @@ func TestLiftPushPop(t *testing.T) {
 	var gotLoad, gotDest bool
 	for _, s := range b.Stmts {
 		switch s := s.(type) {
-		case WrTmp:
-			if _, ok := s.E.(Load); ok {
+		case *WrTmp:
+			if _, ok := s.E.(*Load); ok {
 				gotLoad = true
 			}
-		case Put:
+		case *Put:
 			if s.R == isa.R9 {
 				gotDest = true
 			}
@@ -197,7 +197,7 @@ func TestLiftAllTempsUnique(t *testing.T) {
 	seen := map[Temp]bool{}
 	for _, b := range blocks {
 		for _, s := range b.Stmts {
-			if w, ok := s.(WrTmp); ok {
+			if w, ok := s.(*WrTmp); ok {
 				if seen[w.T] {
 					t.Fatalf("temp %v assigned twice", w.T)
 				}
@@ -236,11 +236,11 @@ func TestQuickLiftWellFormed(t *testing.T) {
 		var useOK func(e Expr) bool
 		useOK = func(e Expr) bool {
 			switch e := e.(type) {
-			case RdTmp:
+			case *RdTmp:
 				return defined[e.T]
-			case Load:
+			case *Load:
 				return useOK(e.Addr)
-			case Binop:
+			case *Binop:
 				return useOK(e.L) && useOK(e.R)
 			default:
 				return true
@@ -248,20 +248,20 @@ func TestQuickLiftWellFormed(t *testing.T) {
 		}
 		for _, s := range b.Stmts {
 			switch s := s.(type) {
-			case WrTmp:
+			case *WrTmp:
 				if !useOK(s.E) {
 					return false
 				}
 				defined[s.T] = true
-			case Put:
+			case *Put:
 				if !useOK(s.E) {
 					return false
 				}
-			case Store:
+			case *Store:
 				if !useOK(s.Addr) || !useOK(s.Val) {
 					return false
 				}
-			case Exit:
+			case *Exit:
 				if !useOK(s.Cond) {
 					return false
 				}
@@ -288,10 +288,10 @@ func TestStringers(t *testing.T) {
 	if Temp(3).String() != "t3" {
 		t.Error("temp stringer")
 	}
-	if (Jump{Dyn: Get{R: isa.R1}}).String() != "goto GET(r1)" {
-		t.Errorf("dyn jump stringer: %s", Jump{Dyn: Get{R: isa.R1}})
+	if (&Jump{Dyn: &Get{R: isa.R1}}).String() != "goto GET(r1)" {
+		t.Errorf("dyn jump stringer: %s", &Jump{Dyn: &Get{R: isa.R1}})
 	}
-	if !strings.Contains((Sys{Num: 4}).String(), "4") {
+	if !strings.Contains((&Sys{Num: 4}).String(), "4") {
 		t.Error("sys stringer")
 	}
 	if !strings.Contains(BinOp(99).String(), "99") {

@@ -10,29 +10,116 @@ import (
 // numbered per lifter so that a whole function lifted by one Lifter has a
 // single temporary namespace, which the dataflow analyses rely on.
 //
-// Blocks and statements are carved out of chunked arenas owned by the
-// lifter, so lifting a function costs a handful of chunk allocations instead
-// of one Block plus one Stmts slice per instruction. Chunks are append-only
-// and never reallocated (a fresh chunk starts before one could grow), so
-// returned pointers and subslices stay valid for the lifter's lifetime.
+// Blocks, statements, and IR nodes are carved out of chunked arenas owned by
+// the lifter, so lifting a function costs a handful of chunk allocations
+// instead of one heap object per node. Chunks are append-only and never
+// reallocated (a fresh chunk starts before one could grow), so returned
+// pointers and subslices stay valid for the lifter's lifetime. Register
+// reads, Ret, and small constants resolve to shared immutable package-level
+// nodes and allocate nothing at all.
 type Lifter struct {
 	next   Temp
 	blocks []Block
 	stmts  []Stmt
+
+	wrtmps arena[WrTmp]
+	puts   arena[Put]
+	stores arena[Store]
+	exits  arena[Exit]
+	jumps  arena[Jump]
+	calls  arena[Call]
+	syss   arena[Sys]
+	consts arena[Const]
+	rdtmps arena[RdTmp]
+	binops arena[Binop]
+	loads  arena[Load]
+	gets   arena[Get]
 }
 
 const (
 	blockChunk = 32
 	stmtChunk  = 128
+	// nodeChunk sizes the typed node arenas' chunks.
+	nodeChunk = 128
 	// maxLiftStmts is the most statements one instruction can lift to
 	// (push/pop emit five); a new stmt chunk starts when fewer remain.
 	maxLiftStmts = 8
 )
 
-// Reserve sizes the arenas for about n instructions, so a caller that knows
-// the function's extent up front (the CFG builder) pays one allocation per
-// arena instead of one per chunk. Instructions average about three
-// statements; the arena falls back to chunking if the estimate runs short.
+// arena hands out stable pointers to values of one node type. A fresh chunk
+// starts whenever the current one is full; existing elements are never moved,
+// so previously returned pointers stay valid. Chunks grow geometrically from
+// a small first chunk, keeping the per-function waste bounded for the many
+// tiny functions a binary contains while large functions amortize to one
+// allocation per nodeChunk nodes.
+type arena[T any] struct {
+	chunk []T
+	size  int
+}
+
+// reserve sizes the arena's next chunk for about n nodes, so a caller that
+// can estimate a function's node count up front pays one chunk allocation
+// instead of walking the geometric growth ladder. Allocation stays lazy: an
+// arena that ends up unused costs nothing.
+func (a *arena[T]) reserve(n int) {
+	if n > a.size {
+		a.size = n
+	}
+}
+
+func (a *arena[T]) new(v T) *T {
+	if len(a.chunk) == cap(a.chunk) {
+		switch {
+		case a.size == 0:
+			a.size = 8
+		case a.size < nodeChunk:
+			a.size *= 4
+		}
+		a.chunk = make([]T, 0, a.size)
+	}
+	a.chunk = append(a.chunk, v)
+	return &a.chunk[len(a.chunk)-1]
+}
+
+// Shared immutable nodes: one Get per guest register, one Ret, and the small
+// non-negative constants (section offsets, word sizes, return-address bases
+// all hit this range). Nothing may ever write through these pointers.
+var (
+	getNodes    [isa.NumRegs]Get
+	retNode     Ret
+	smallConsts [256]Const
+)
+
+func init() {
+	for r := range getNodes {
+		getNodes[r] = Get{R: isa.Reg(r)}
+	}
+	for v := range smallConsts {
+		smallConsts[v] = Const{V: int64(v)}
+	}
+}
+
+// GetExpr returns the canonical node reading register r (shared for
+// in-range registers, so it never allocates on the decode-validated path).
+func (l *Lifter) GetExpr(r isa.Reg) *Get {
+	if r >= 0 && int(r) < len(getNodes) {
+		return &getNodes[r]
+	}
+	return l.gets.new(Get{R: r})
+}
+
+func (l *Lifter) cnst(v int64) *Const {
+	if v >= 0 && v < int64(len(smallConsts)) {
+		return &smallConsts[v]
+	}
+	return l.consts.new(Const{V: v})
+}
+
+// Reserve sizes the block and statement arenas for about n instructions, so
+// a caller that knows the function's extent up front (the CFG builder) pays
+// one allocation per arena instead of one per chunk. Instructions average
+// about three statements; the arenas fall back to chunking if the estimate
+// runs short.
 func (l *Lifter) Reserve(n int) {
 	if n <= 0 {
 		return
@@ -43,6 +130,18 @@ func (l *Lifter) Reserve(n int) {
 	if want := 3*n + maxLiftStmts; cap(l.stmts)-len(l.stmts) < want {
 		l.stmts = make([]Stmt, 0, want)
 	}
+	// Pre-size the hot node arenas from the instruction count. The ratios
+	// come from the lift templates: most instructions read one or two
+	// registers (a WrTmp/RdTmp pair each) and write one (a Put), and ALU and
+	// memory ops add a Binop. Overshoot is bounded by one chunk per arena
+	// and undershoot falls back to geometric chunking.
+	l.wrtmps.reserve(n + n/2)
+	l.rdtmps.reserve(n + n/2)
+	l.puts.reserve(n)
+	l.binops.reserve(n)
+	l.consts.reserve(n / 2)
+	l.loads.reserve(n / 4)
+	l.stores.reserve(n / 4)
 }
 
 // NewLifter returns a lifter with a fresh temporary namespace.
@@ -75,14 +174,14 @@ func (l *Lifter) emit(s Stmt) { l.stmts = append(l.stmts, s) }
 // read loads a register into a fresh temporary and returns it.
 func (l *Lifter) read(r isa.Reg) Expr {
 	t := l.tmp()
-	l.emit(WrTmp{T: t, E: Get{R: r}})
-	return RdTmp{T: t}
+	l.emit(l.wrtmps.new(WrTmp{T: t, E: l.GetExpr(r)}))
+	return l.rdtmps.new(RdTmp{T: t})
 }
 
 func (l *Lifter) bin(op BinOp, x, y Expr) Expr {
 	t := l.tmp()
-	l.emit(WrTmp{T: t, E: Binop{Op: op, L: x, R: y}})
-	return RdTmp{T: t}
+	l.emit(l.wrtmps.new(WrTmp{T: t, E: l.binops.new(Binop{Op: op, L: x, R: y})}))
+	return l.rdtmps.new(RdTmp{T: t})
 }
 
 // Lift translates one instruction at the given address. The address is
@@ -103,27 +202,27 @@ func (l *Lifter) Lift(addr uint32, in isa.Instr) (*Block, error) {
 		// no statements
 
 	case isa.OpMovi:
-		l.emit(Put{R: in.Rd, E: Const{V: int64(in.Imm)}})
+		l.emit(l.puts.new(Put{R: in.Rd, E: l.cnst(int64(in.Imm))}))
 
 	case isa.OpMov:
-		l.emit(Put{R: in.Rd, E: l.read(in.Rs1)})
+		l.emit(l.puts.new(Put{R: in.Rd, E: l.read(in.Rs1)}))
 
 	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr,
 		isa.OpXor, isa.OpShl, isa.OpShr:
-		l.emit(Put{R: in.Rd, E: l.bin(binOpFor[in.Op], l.read(in.Rs1), l.read(in.Rs2))})
+		l.emit(l.puts.new(Put{R: in.Rd, E: l.bin(binOpFor[in.Op], l.read(in.Rs1), l.read(in.Rs2))}))
 
 	case isa.OpAddi:
-		l.emit(Put{R: in.Rd, E: l.bin(Add, l.read(in.Rs1), Const{V: int64(in.Imm)})})
+		l.emit(l.puts.new(Put{R: in.Rd, E: l.bin(Add, l.read(in.Rs1), l.cnst(int64(in.Imm)))}))
 
 	case isa.OpLdb, isa.OpLdw:
 		size := 1
 		if in.Op == isa.OpLdw {
 			size = isa.WordSize
 		}
-		addrE := l.bin(Add, l.read(in.Rs1), Const{V: int64(in.Imm)})
+		addrE := l.bin(Add, l.read(in.Rs1), l.cnst(int64(in.Imm)))
 		t := l.tmp()
-		l.emit(WrTmp{T: t, E: Load{Addr: addrE, Size: size}})
-		l.emit(Put{R: in.Rd, E: RdTmp{T: t}})
+		l.emit(l.wrtmps.new(WrTmp{T: t, E: l.loads.new(Load{Addr: addrE, Size: size})}))
+		l.emit(l.puts.new(Put{R: in.Rd, E: l.rdtmps.new(RdTmp{T: t})}))
 
 	case isa.OpStb, isa.OpStw:
 		size := 1
@@ -131,50 +230,50 @@ func (l *Lifter) Lift(addr uint32, in isa.Instr) (*Block, error) {
 			size = isa.WordSize
 		}
 		val := l.read(in.Rs2)
-		addrE := l.bin(Add, l.read(in.Rs1), Const{V: int64(in.Imm)})
-		l.emit(Store{Addr: addrE, Val: val, Size: size})
+		addrE := l.bin(Add, l.read(in.Rs1), l.cnst(int64(in.Imm)))
+		l.emit(l.stores.new(Store{Addr: addrE, Val: val, Size: size}))
 
 	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
 		cond := l.bin(cmpOpFor[in.Op], l.read(in.Rs1), l.read(in.Rs2))
-		l.emit(Exit{Cond: cond, Target: uint32(in.Imm)})
+		l.emit(l.exits.new(Exit{Cond: cond, Target: uint32(in.Imm)}))
 
 	case isa.OpJmp:
-		l.emit(Jump{Target: uint32(in.Imm)})
+		l.emit(l.jumps.new(Jump{Target: uint32(in.Imm)}))
 
 	case isa.OpJr:
-		l.emit(Jump{Dyn: l.read(in.Rs1)})
+		l.emit(l.jumps.new(Jump{Dyn: l.read(in.Rs1)}))
 
 	case isa.OpCall:
-		l.emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
-		l.emit(Call{Kind: CallDirect, Target: uint32(in.Imm)})
+		l.emit(l.puts.new(Put{R: isa.LR, E: l.cnst(int64(addr) + isa.Width)}))
+		l.emit(l.calls.new(Call{Kind: CallDirect, Target: uint32(in.Imm)}))
 
 	case isa.OpCallr:
 		target := l.read(in.Rs1)
-		l.emit(Put{R: isa.LR, E: Const{V: int64(addr) + isa.Width}})
-		l.emit(Call{Kind: CallIndirect, Dyn: target})
+		l.emit(l.puts.new(Put{R: isa.LR, E: l.cnst(int64(addr) + isa.Width)}))
+		l.emit(l.calls.new(Call{Kind: CallIndirect, Dyn: target}))
 
 	case isa.OpRet:
-		l.emit(Ret{})
+		l.emit(&retNode)
 
 	case isa.OpPush:
 		val := l.read(in.Rs1)
-		sp := l.bin(Sub, l.read(isa.SP), Const{V: isa.WordSize})
-		l.emit(Put{R: isa.SP, E: sp})
-		l.emit(Store{Addr: sp, Val: val, Size: isa.WordSize})
+		sp := l.bin(Sub, l.read(isa.SP), l.cnst(isa.WordSize))
+		l.emit(l.puts.new(Put{R: isa.SP, E: sp}))
+		l.emit(l.stores.new(Store{Addr: sp, Val: val, Size: isa.WordSize}))
 
 	case isa.OpPop:
 		sp := l.read(isa.SP)
 		t := l.tmp()
-		l.emit(WrTmp{T: t, E: Load{Addr: sp, Size: isa.WordSize}})
-		l.emit(Put{R: in.Rd, E: RdTmp{T: t}})
-		l.emit(Put{R: isa.SP, E: l.bin(Add, sp, Const{V: isa.WordSize})})
+		l.emit(l.wrtmps.new(WrTmp{T: t, E: l.loads.new(Load{Addr: sp, Size: isa.WordSize})}))
+		l.emit(l.puts.new(Put{R: in.Rd, E: l.rdtmps.new(RdTmp{T: t})}))
+		l.emit(l.puts.new(Put{R: isa.SP, E: l.bin(Add, sp, l.cnst(isa.WordSize))}))
 
 	case isa.OpSys:
-		l.emit(Sys{Num: in.Imm})
+		l.emit(l.syss.new(Sys{Num: in.Imm}))
 
 	case isa.OpTramp:
-		l.emit(Call{Kind: CallTramp, GOT: uint32(in.Imm)})
-		l.emit(Ret{})
+		l.emit(l.calls.new(Call{Kind: CallTramp, GOT: uint32(in.Imm)}))
+		l.emit(&retNode)
 
 	default:
 		l.blocks = l.blocks[:len(l.blocks)-1]

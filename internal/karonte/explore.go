@@ -196,16 +196,16 @@ const (
 // eval computes an IR expression over the path state.
 func (e *Engine) eval(p *pstate, x ir.Expr) kval {
 	switch x := x.(type) {
-	case ir.Const:
+	case *ir.Const:
 		return conc(uint32(x.V))
-	case ir.RdTmp:
+	case *ir.RdTmp:
 		if v, ok := p.temps[x.T]; ok {
 			return v
 		}
 		return symval(e.freshSym(), 0)
-	case ir.Get:
+	case *ir.Get:
 		return p.regs[x.R]
-	case ir.Binop:
+	case *ir.Binop:
 		l := e.eval(p, x.L)
 		r := e.eval(p, x.R)
 		label := mergeLabel(p, l.label, r.label)
@@ -221,7 +221,7 @@ func (e *Engine) eval(p *pstate, x ir.Expr) kval {
 			return kval{sym: r.sym, label: label}
 		}
 		return symval(e.freshSym(), label)
-	case ir.Load:
+	case *ir.Load:
 		addr := e.eval(p, x.Addr)
 		if addr.concrete {
 			if v, ok := p.mem[addr.c]; ok {
@@ -264,14 +264,14 @@ func mergeLabel(p *pstate, a, b int) int {
 func (e *Engine) execInstr(p *pstate, irb *ir.Block, work *[]*pstate) ctlKind {
 	for _, s := range irb.Stmts {
 		switch s := s.(type) {
-		case ir.WrTmp:
+		case *ir.WrTmp:
 			p.temps[s.T] = e.eval(p, s.E)
 			// Sanitization: ordering comparisons of tainted values against
 			// nonzero constant bounds kill the label on this path. Region
 			// taint is unaffected (the engine cannot see which object a
 			// length check covered), matching its classical-source false
 			// positives.
-			if b, ok := s.E.(ir.Binop); ok && (b.Op == ir.CmpLT || b.Op == ir.CmpGE) {
+			if b, ok := s.E.(*ir.Binop); ok && (b.Op == ir.CmpLT || b.Op == ir.CmpGE) {
 				l := e.eval(p, b.L)
 				r := e.eval(p, b.R)
 				if l.label != 0 && r.concrete && r.c != 0 {
@@ -281,9 +281,9 @@ func (e *Engine) execInstr(p *pstate, irb *ir.Block, work *[]*pstate) ctlKind {
 					p.killed[r.label] = true
 				}
 			}
-		case ir.Put:
+		case *ir.Put:
 			p.regs[s.R] = e.eval(p, s.E)
-		case ir.Store:
+		case *ir.Store:
 			addr := e.eval(p, s.Addr)
 			val := e.eval(p, s.Val)
 			if addr.concrete {
@@ -291,7 +291,7 @@ func (e *Engine) execInstr(p *pstate, irb *ir.Block, work *[]*pstate) ctlKind {
 			} else if val.label != 0 && !p.killed[val.label] {
 				p.symPtr[addr.sym] = val.label
 			}
-		case ir.Exit:
+		case *ir.Exit:
 			cond := e.eval(p, s.Cond)
 			if cond.concrete {
 				if cond.c != 0 {
@@ -305,7 +305,7 @@ func (e *Engine) execInstr(p *pstate, irb *ir.Block, work *[]*pstate) ctlKind {
 				*work = append(*work, taken)
 			}
 			continue
-		case ir.Jump:
+		case *ir.Jump:
 			if s.Dyn != nil {
 				// Computed jump: fork over the resolved jump-table targets.
 				ts := p.fn.JumpTables[irb.Addr]
@@ -324,9 +324,9 @@ func (e *Engine) execInstr(p *pstate, irb *ir.Block, work *[]*pstate) ctlKind {
 				return e.jumpTo(p, ts[0])
 			}
 			return e.jumpTo(p, s.Target)
-		case ir.Call:
+		case *ir.Call:
 			return e.execCall(p, irb, s, work)
-		case ir.Ret:
+		case *ir.Ret:
 			if len(p.stack) == 0 {
 				return ctlEnd
 			}
@@ -335,7 +335,7 @@ func (e *Engine) execInstr(p *pstate, irb *ir.Block, work *[]*pstate) ctlKind {
 			p.fn, p.block, p.idx = fr.fn, fr.block, fr.idx
 			p.visits = fr.visits
 			return ctlJumped
-		case ir.Sys:
+		case *ir.Sys:
 			p.regs[isa.R0] = symval(e.freshSym(), 0)
 		}
 	}
@@ -352,7 +352,7 @@ func (e *Engine) jumpTo(p *pstate, target uint32) ctlKind {
 }
 
 // execCall handles direct, trampoline-stub and resolved indirect calls.
-func (e *Engine) execCall(p *pstate, irb *ir.Block, c ir.Call, work *[]*pstate) ctlKind {
+func (e *Engine) execCall(p *pstate, irb *ir.Block, c *ir.Call, work *[]*pstate) ctlKind {
 	// Determine candidate targets.
 	var targets []uint32
 	switch c.Kind {

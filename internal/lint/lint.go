@@ -25,6 +25,7 @@ import (
 	"fits/internal/lint/lockguard"
 	"fits/internal/lint/maporder"
 	"fits/internal/lint/nondet"
+	"fits/internal/lint/strcopy"
 )
 
 // Analyzers returns the registered suite in stable order.
@@ -34,6 +35,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockguard.Analyzer,
 		maporder.Analyzer,
 		nondet.Analyzer,
+		strcopy.Analyzer,
 	}
 }
 

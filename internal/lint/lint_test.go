@@ -12,6 +12,7 @@ import (
 	"fits/internal/lint/lockguard"
 	"fits/internal/lint/maporder"
 	"fits/internal/lint/nondet"
+	"fits/internal/lint/strcopy"
 )
 
 func TestMaporder(t *testing.T) {
@@ -22,6 +23,16 @@ func TestNondet(t *testing.T) {
 	// The fixture impersonates a pure analysis package so the
 	// determinism contract applies to it.
 	linttest.Run(t, nondet.Analyzer, "testdata/src/nondet", "fits/internal/taint")
+}
+
+func TestStrcopy(t *testing.T) {
+	// The fixture impersonates a pure analysis package so the hot-loop
+	// copy rule applies to it.
+	linttest.Run(t, strcopy.Analyzer, "testdata/src/strcopy", "fits/internal/dataflow")
+}
+
+func TestStrcopySilentOutsidePurePackages(t *testing.T) {
+	linttest.Run(t, strcopy.Analyzer, "testdata/src/strcopyimpure", "fits/internal/server")
 }
 
 func TestNondetSilentOutsidePurePackages(t *testing.T) {
@@ -77,7 +88,7 @@ func TestSuiteRegistration(t *testing.T) {
 			t.Errorf("analyzer %q missing Doc or Run", a.Name)
 		}
 	}
-	want := "ctxflow lockguard maporder nondet"
+	want := "ctxflow lockguard maporder nondet strcopy"
 	if got := strings.Join(names, " "); got != want {
 		t.Errorf("registered analyzers %q, want %q", got, want)
 	}

@@ -1,0 +1,63 @@
+// Fixture for the strcopy analyzer, type-checked under the import path of a
+// pure analysis package so the hot-loop copy rule applies.
+package fixture
+
+// Collect copies every chunk inside the loop: flagged.
+func Collect(chunks [][]byte) []string {
+	var out []string
+	for _, c := range chunks {
+		out = append(out, string(c)) // want `string\(b\) copies its \[\]byte inside a loop`
+	}
+	return out
+}
+
+// Nested loops report the conversion once, not once per enclosing loop.
+func Nested(rows [][][]byte) (n int) {
+	for _, row := range rows {
+		for _, c := range row {
+			if string(c) == "tainted" { // want `string\(b\) copies its \[\]byte inside a loop`
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Lookup uses the map-index idiom the compiler makes allocation-free: clean.
+func Lookup(seen map[string]bool, chunks [][]byte) (n int) {
+	for _, c := range chunks {
+		if seen[string(c)] {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert stores the key, which does allocate even in index position: flagged.
+func Insert(seen map[string]bool, chunks [][]byte) {
+	for _, c := range chunks {
+		seen[string(c)] = true // want `string\(b\) copies its \[\]byte inside a loop`
+	}
+}
+
+// Once converts outside any loop: clean (a per-binary copy is noise).
+func Once(b []byte) string {
+	return string(b)
+}
+
+// Runes converts from []rune, not []byte: clean.
+func Runes(rs [][]rune) (out []string) {
+	for _, r := range rs {
+		out = append(out, string(r))
+	}
+	return out
+}
+
+// Owned documents why the copy is required and suppresses the finding.
+func Owned(chunks [][]byte) (out []string) {
+	for _, c := range chunks {
+		//fitslint:ignore strcopy result outlives the decode buffer; the copy transfers ownership
+		out = append(out, string(c))
+	}
+	return out
+}

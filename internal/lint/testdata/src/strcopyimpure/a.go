@@ -1,0 +1,12 @@
+// Fixture proving strcopy stays silent outside the pure analysis packages:
+// service-layer loops may copy freely.
+package fixture
+
+// Collect copies inside a loop, but this package is impure: clean.
+func Collect(chunks [][]byte) []string {
+	var out []string
+	for _, c := range chunks {
+		out = append(out, string(c))
+	}
+	return out
+}

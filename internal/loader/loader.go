@@ -24,9 +24,11 @@ import (
 	"fits/internal/binimg"
 	"fits/internal/cfg"
 	"fits/internal/firmware"
+	"fits/internal/intern"
 	"fits/internal/know"
 	"fits/internal/modelcache"
 	"fits/internal/pool"
+	"fits/internal/stagetime"
 	"fits/internal/ucse"
 )
 
@@ -129,6 +131,21 @@ type Options struct {
 	// reuse bookkeeping rides on content hashes); ignored without one. The
 	// output remains byte-identical to a cold load.
 	Prev []*Target
+	// Sched, when non-nil, draws the model-building fan-out from a shared
+	// corpus-level worker budget instead of sizing a per-call pool from
+	// Parallelism; batched corpus runs hand one scheduler to every load.
+	Sched *pool.Scheduler
+	// Intern canonicalizes strings materialized while decoding binaries
+	// (symbol, import and library names repeated across binaries); nil
+	// disables interning. With a cache, a binary decoded earlier keeps
+	// whatever backing its first decode produced — contents are identical
+	// either way.
+	Intern *intern.Table
+	// Stages, when non-nil, accumulates per-stage wall-clock and allocation
+	// costs of this load: Decode (unpack + container decode), Lift (function
+	// recovery) and CFG (the rest of model building). Allocation attribution
+	// is only exact at Parallelism 1.
+	Stages *stagetime.Timer
 }
 
 // executableDirs are filesystem locations treated as holding executables.
@@ -155,7 +172,9 @@ func LoadContext(ctx context.Context, raw []byte, opts Options) (*Result, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	unpackDone := opts.Stages.Span(stagetime.Decode)
 	img, err := firmware.Unpack(raw)
+	unpackDone()
 	if err != nil {
 		return nil, fmt.Errorf("loader: unpack: %w", err)
 	}
@@ -188,12 +207,13 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 	// downstream, so one decode serves every image embedding the same file.
 	bins := map[string]*binimg.Binary{}
 	hashes := map[string]modelcache.Hash{}
+	decodeDone := opts.Stages.Span(stagetime.Decode)
 	for _, f := range img.Files {
 		if !binimg.IsBinary(f.Data) {
 			continue
 		}
 		if opts.Cache == nil {
-			b, err := binimg.Decode(f.Data)
+			b, err := binimg.DecodeIntern(f.Data, opts.Intern)
 			if err != nil {
 				continue // corrupt binaries are skipped, as binwalk-style tools do
 			}
@@ -203,7 +223,7 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		h := modelcache.HashBytes(f.Data)
 		data := f.Data
 		v, _, err := opts.Cache.GetOrCompute(modelcache.Key("bin", "", h), func() (any, int64, error) {
-			b, err := binimg.Decode(data)
+			b, err := binimg.DecodeIntern(data, opts.Intern)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -215,6 +235,7 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		bins[f.Path] = v.(*binimg.Binary)
 		hashes[f.Path] = h
 	}
+	decodeDone()
 
 	// Index libraries by base name for dependency resolution.
 	libByName := map[string]*binimg.Binary{}
@@ -234,6 +255,15 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		jumpResolver = ucse.JumpResolver()
 	}
 	cfgOpts := cfg.Options{Resolver: resolver, JumpResolver: jumpResolver}
+	// With a stage timer, builds report how their cost splits between
+	// lifting and the rest of model construction; the shared BuildStats is
+	// folded into the timer once the fan-out below drains.
+	var buildStats cfg.BuildStats
+	if opts.Stages != nil {
+		cfgOpts.Clock = stagetime.Clock
+		cfgOpts.AllocCount = stagetime.AllocCount
+		cfgOpts.Stats = &buildStats
+	}
 
 	// Select the network targets, in deterministic path order.
 	var targetPaths []string
@@ -299,7 +329,7 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 	plans := make([]*cfg.ReusePlan, len(jobs))
 	cachedModel := make([]bool, len(jobs))
 	var reused atomic.Int64
-	err := pool.ForEach(ctx, opts.Parallelism, len(jobs), func(i int) error {
+	buildJob := func(i int) error {
 		if opts.Cache == nil {
 			m, err := cfg.Build(jobs[i].bin, cfgOpts)
 			if err != nil {
@@ -351,7 +381,19 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 		}
 		models[i] = v.(*cfg.Model)
 		return nil
-	})
+	}
+	var err error
+	if opts.Sched != nil {
+		err = opts.Sched.ForEach(ctx, len(jobs), buildJob)
+	} else {
+		err = pool.ForEach(ctx, opts.Parallelism, len(jobs), buildJob)
+	}
+	if opts.Stages != nil {
+		opts.Stages.Add(stagetime.Lift, buildStats.LiftNanos.Load())
+		opts.Stages.AddAllocs(stagetime.Lift, buildStats.LiftAllocs.Load())
+		opts.Stages.Add(stagetime.CFG, buildStats.TotalNanos.Load()-buildStats.LiftNanos.Load())
+		opts.Stages.AddAllocs(stagetime.CFG, buildStats.TotalAllocs.Load()-buildStats.LiftAllocs.Load())
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,143 @@
+package pool
+
+// Tests for the Scheduler contract: one bounded budget shared across every
+// ForEach of a batch, non-blocking slot acquisition (so nested calls cannot
+// deadlock), and error semantics matching the package-level ForEach.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSchedulerVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		s := NewScheduler(workers)
+		const n = 57
+		var visits [n]atomic.Int32
+		err := s.ForEach(context.Background(), n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestSchedulerReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		s := NewScheduler(workers)
+		err := s.ForEach(context.Background(), 64, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 5:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+// TestSchedulerNestedForEachNoDeadlock is the property the scheduler exists
+// for: a corpus fan-out whose items each fan out again over the same budget
+// must complete even when the budget (1 worker) admits no helpers at all —
+// the caller always runs items inline.
+func TestSchedulerNestedForEachNoDeadlock(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		s := NewScheduler(workers)
+		var inner atomic.Int32
+		err := s.ForEach(context.Background(), 8, func(i int) error {
+			return s.ForEach(context.Background(), 8, func(j int) error {
+				inner.Add(1)
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := inner.Load(); got != 64 {
+			t.Errorf("workers=%d: inner ran %d times, want 64", workers, got)
+		}
+	}
+}
+
+// TestSchedulerBoundsConcurrencyAcrossCalls: two concurrent top-level
+// ForEach calls plus borrowed helpers must never exceed callers + (workers-1)
+// busy goroutines — the slot budget is global to the scheduler, not per call.
+func TestSchedulerBoundsConcurrencyAcrossCalls(t *testing.T) {
+	const workers = 4
+	const callers = 2
+	s := NewScheduler(workers)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			_ = s.ForEach(context.Background(), 64, func(i int) error {
+				v := cur.Add(1)
+				for {
+					p := peak.Load()
+					if v <= p || peak.CompareAndSwap(p, v) {
+						break
+					}
+				}
+				for k := 0; k < 1000; k++ {
+					_ = k // brief busy window so runs overlap
+				}
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	// Each caller runs inline (2) and at most workers-1 slots are lent out
+	// between them (3): 5 is the hard ceiling.
+	if max := int32(callers + workers - 1); peak.Load() > max {
+		t.Errorf("peak concurrency %d, want <= %d", peak.Load(), max)
+	}
+}
+
+func TestSchedulerPreCancelledContext(t *testing.T) {
+	s := NewScheduler(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	if err := s.ForEach(ctx, 8, func(int) error { called = true; return nil }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("fn ran under a pre-cancelled context")
+	}
+}
+
+// TestSchedulerSlotsReturned: after ForEach completes, all borrowed slots
+// are back, so a later call can borrow the full budget again.
+func TestSchedulerSlotsReturned(t *testing.T) {
+	s := NewScheduler(4)
+	for round := 0; round < 3; round++ {
+		if err := s.ForEach(context.Background(), 32, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.slots); got != 0 {
+		t.Errorf("%d slots still held after ForEach returned", got)
+	}
+}

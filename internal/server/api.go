@@ -217,18 +217,31 @@ type DiffStats struct {
 	Timings    fits.DiffStageTimings
 }
 
+// RunEnv is the server-provided execution environment of one job: the
+// process-wide model cache, the worker-pool scheduler shared by every job
+// (so concurrent jobs draw analysis goroutines from one budget instead of
+// each sizing its own fan-out), and the job's stage timer, whose per-stage
+// costs land in the /metrics histograms. Any field may be nil.
+type RunEnv struct {
+	Cache  *fits.Cache
+	Sched  *fits.Scheduler
+	Stages *fits.StageTimer
+}
+
 // Runner executes one job. The default is DefaultRunner; tests substitute
 // stub pipelines to exercise queueing, cancellation and drain without
 // firmware fixtures.
-type Runner func(ctx context.Context, raw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error)
+type Runner func(ctx context.Context, raw []byte, spec optbuild.Spec, env RunEnv) (*RunOutput, error)
 
 // DefaultRunner runs the full fits pipeline: inference over every network
 // binary, optionally followed by a taint scan, reported as a JobResult.
-func DefaultRunner(ctx context.Context, raw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error) {
-	aopts, err := spec.AnalyzeOptions(cache)
+func DefaultRunner(ctx context.Context, raw []byte, spec optbuild.Spec, env RunEnv) (*RunOutput, error) {
+	aopts, err := spec.AnalyzeOptions(env.Cache)
 	if err != nil {
 		return nil, err
 	}
+	aopts.Scheduler = env.Sched
+	aopts.Stages = env.Stages
 	res, err := fits.AnalyzeContext(ctx, raw, aopts)
 	if err != nil {
 		return nil, err
@@ -277,16 +290,18 @@ func DefaultRunner(ctx context.Context, raw []byte, spec optbuild.Spec, cache *f
 }
 
 // DiffRunner executes one diff job. The default is DefaultDiffRunner.
-type DiffRunner func(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error)
+type DiffRunner func(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, env RunEnv) (*RunOutput, error)
 
 // DefaultDiffRunner runs the evolution pipeline: both versions are analyzed
 // and scanned, the new one incrementally against the old, and the churn
 // report is rendered as a DiffJobResult.
-func DefaultDiffRunner(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, cache *fits.Cache) (*RunOutput, error) {
-	dopts, err := spec.DiffOptions(cache)
+func DefaultDiffRunner(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, env RunEnv) (*RunOutput, error) {
+	dopts, err := spec.DiffOptions(env.Cache)
 	if err != nil {
 		return nil, err
 	}
+	dopts.Scheduler = env.Sched
+	dopts.Stages = env.Stages
 	d, err := fits.DiffContext(ctx, oldRaw, newRaw, dopts)
 	if err != nil {
 		return nil, err

@@ -35,7 +35,7 @@ var samplePair = sync.OnceValue(func() [2][]byte {
 
 // runDiff adapts the stub runner to the diff signature: it signals with
 // both sides' bytes and blocks until released or canceled.
-func (r *stubRunner) runDiff(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, cache *fits.Cache) (*server.RunOutput, error) {
+func (r *stubRunner) runDiff(ctx context.Context, oldRaw, newRaw []byte, spec optbuild.Spec, env server.RunEnv) (*server.RunOutput, error) {
 	r.started <- string(oldRaw) + "|" + string(newRaw)
 	select {
 	case <-r.release:

@@ -35,6 +35,7 @@ import (
 
 	"fits"
 	"fits/internal/optbuild"
+	"fits/internal/stagetime"
 )
 
 // Defaults for Config zero values.
@@ -137,6 +138,12 @@ type Server struct {
 	// function-reuse ratio, exported as fits_diff_reuse_ratio.
 	diffReuse  atomic.Uint64
 	hDiffStage map[string]*Histogram
+	hStage     map[stagetime.Stage]*Histogram
+
+	// sched is the analysis worker pool shared by every job: concurrent jobs
+	// draw their model-building and inference fan-outs from one budget
+	// instead of multiplying Workers × Parallelism goroutines.
+	sched *fits.Scheduler
 
 	now func() time.Time
 }
@@ -172,6 +179,16 @@ func New(cfg Config) *Server {
 		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
 	s.reg.GaugeFunc("fits_diff_reuse_ratio", "Function-reuse ratio of the most recently completed diff job.",
 		func() float64 { return math.Float64frombits(s.diffReuse.Load()) })
+	// One analysis scheduler for the whole process, sized to GOMAXPROCS: the
+	// per-job worker count then bounds job concurrency while this bounds the
+	// total analysis goroutines those jobs fan out between them.
+	s.sched = fits.NewScheduler(0)
+	s.hStage = map[stagetime.Stage]*Histogram{}
+	for _, st := range stagetime.Stages() {
+		s.hStage[st] = s.reg.Histogram("fitsd_stage_"+st.String()+"_seconds",
+			"Per-job wall time of the "+st.String()+" pipeline stage.",
+			0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30)
+	}
 	s.hDiffStage = map[string]*Histogram{}
 	for _, st := range [...]struct{ name, help string }{
 		{"analyze_old", "Diff stage: analysis of the old version."},
@@ -261,14 +278,20 @@ func (s *Server) runJob(j *Job) {
 	s.running.Store(j.id, j)
 	s.gRunning.Add(1)
 	s.cfg.Logf("job %s: running (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
+	env := RunEnv{Cache: s.cfg.Cache, Sched: s.sched, Stages: new(fits.StageTimer)}
 	var out *RunOutput
 	var err error
 	if j.kind == KindDiff {
-		out, err = s.cfg.DiffRunner(ctx, raw, raw2, j.spec, s.cfg.Cache)
+		out, err = s.cfg.DiffRunner(ctx, raw, raw2, j.spec, env)
 	} else {
-		out, err = s.cfg.Runner(ctx, raw, j.spec, s.cfg.Cache)
+		out, err = s.cfg.Runner(ctx, raw, j.spec, env)
 	}
 	state, elapsed := j.finish(out, err, s.now())
+	for _, st := range stagetime.Stages() {
+		if ns := env.Stages.WallNanos(st); ns > 0 {
+			s.hStage[st].Observe(float64(ns) / 1e9)
+		}
+	}
 	s.gRunning.Add(-1)
 	s.running.Delete(j.id)
 	s.hDuration.Observe(elapsed.Seconds())

@@ -45,7 +45,7 @@ func newStubRunner() *stubRunner {
 	return &stubRunner{started: make(chan string, 64), release: make(chan struct{})}
 }
 
-func (r *stubRunner) run(ctx context.Context, raw []byte, spec optbuild.Spec, cache *fits.Cache) (*server.RunOutput, error) {
+func (r *stubRunner) run(ctx context.Context, raw []byte, spec optbuild.Spec, env server.RunEnv) (*server.RunOutput, error) {
 	r.started <- string(raw)
 	select {
 	case <-r.release:
@@ -163,6 +163,12 @@ func TestJobLifecycle(t *testing.T) {
 		"fitsd_jobs_accepted_total 2",
 		"fitsd_model_cache_hits_total",
 		"fitsd_job_duration_seconds_count 2",
+		// Per-stage pipeline histograms, fed by each job's stage timer.
+		// Both runs decode and infer; the cache-served rerun may skip
+		// lifting, so only the first run is guaranteed to observe lift.
+		"fitsd_stage_decode_seconds_count 2",
+		"fitsd_stage_infer_seconds_count 2",
+		"fitsd_stage_lift_seconds_count 1",
 	} {
 		if !strings.Contains(m, want) {
 			t.Errorf("metrics missing %q", want)

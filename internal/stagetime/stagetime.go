@@ -1,0 +1,129 @@
+// Package stagetime accumulates per-stage wall-clock and heap-allocation
+// costs across one analysis or a whole corpus batch. The pure analysis
+// packages (cfg, bfv, ...) never read clocks themselves — the nondet lint
+// bans that — so impure callers (loader, fits, eval, fitsd) sample a clock
+// and an allocation counter around each stage and feed the deltas into a
+// Timer; pure packages receive at most an injected `func() int64` pair.
+//
+// Wall times are accumulated atomically and are meaningful at any
+// parallelism (they sum CPU-side stage time across workers, so overlapping
+// stages can exceed the batch's wall clock). Allocation deltas read a
+// process-global counter, so they attribute correctly only when the
+// pipeline runs serially (Parallelism=1), which is how the benchmarks run;
+// at higher parallelism they remain monotonic but mix stages.
+package stagetime
+
+import (
+	"runtime/metrics"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline stage.
+type Stage uint8
+
+// The pipeline stages, in execution order. ReachDef is nested inside Infer
+// (reaching-definition dataflow runs per function during vector
+// extraction), so its time is also part of Infer's — per-stage numbers are
+// spans, not a partition.
+const (
+	Decode Stage = iota // firmware unpack + binary container decode
+	Lift                // instruction lifting & function recovery
+	CFG                 // the rest of model building (resolution, loops, callers)
+	ReachDef            // reaching-definition dataflow (inside Infer)
+	Infer               // vector extraction, clustering, scoring, ranking
+	Taint               // taint scans (static or symbolic engine)
+	NumStages
+)
+
+var stageNames = [NumStages]string{"decode", "lift", "cfg", "reachdef", "infer", "taint"}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage"
+}
+
+// Stages lists all stages in order, for iteration by exporters.
+func Stages() [NumStages]Stage {
+	return [NumStages]Stage{Decode, Lift, CFG, ReachDef, Infer, Taint}
+}
+
+// Timer accumulates per-stage costs. The zero value is ready to use; a nil
+// *Timer is a no-op sink, so instrumentation can be left in place unpaid.
+type Timer struct {
+	wall   [NumStages]atomic.Int64 // nanoseconds
+	allocs [NumStages]atomic.Int64 // heap objects
+}
+
+// Add records ns nanoseconds of wall time against stage s.
+func (t *Timer) Add(s Stage, ns int64) {
+	if t == nil || s >= NumStages {
+		return
+	}
+	t.wall[s].Add(ns)
+}
+
+// AddAllocs records n heap-object allocations against stage s.
+func (t *Timer) AddAllocs(s Stage, n int64) {
+	if t == nil || s >= NumStages || n <= 0 {
+		return
+	}
+	t.allocs[s].Add(n)
+}
+
+// WallNanos returns the accumulated wall time of stage s in nanoseconds.
+func (t *Timer) WallNanos(s Stage) int64 {
+	if t == nil || s >= NumStages {
+		return 0
+	}
+	return t.wall[s].Load()
+}
+
+// Allocs returns the accumulated heap-object count of stage s.
+func (t *Timer) Allocs(s Stage) int64 {
+	if t == nil || s >= NumStages {
+		return 0
+	}
+	return t.allocs[s].Load()
+}
+
+// Clock returns monotonic nanoseconds since an arbitrary base — the value
+// impure callers inject into pure packages as `func() int64`.
+func Clock() int64 { return time.Since(base).Nanoseconds() }
+
+var base = time.Now()
+
+var allocSample = func() []metrics.Sample {
+	s := make([]metrics.Sample, 1)
+	s[0].Name = "/gc/heap/allocs:objects"
+	return s
+}()
+
+// AllocCount returns the process-lifetime heap-object allocation count. It
+// reads a runtime metric without stopping the world, so sampling it at
+// stage boundaries is cheap. Callers diff two samples to charge a stage.
+func AllocCount() int64 {
+	// A fresh sample slice per call keeps this callable from concurrent
+	// workers; one small slice per stage boundary is noise next to the
+	// stages themselves.
+	s := make([]metrics.Sample, 1)
+	s[0].Name = allocSample[0].Name
+	metrics.Read(s)
+	return int64(s[0].Value.Uint64())
+}
+
+// Span measures one stage execution: call at the stage start, invoke the
+// returned func at the end. On a nil timer it samples nothing.
+func (t *Timer) Span(s Stage) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := Clock()
+	a0 := AllocCount()
+	return func() {
+		t.Add(s, Clock()-t0)
+		t.AddAllocs(s, AllocCount()-a0)
+	}
+}

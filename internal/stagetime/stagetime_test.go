@@ -1,0 +1,88 @@
+package stagetime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilTimerIsNoop(t *testing.T) {
+	var tm *Timer
+	tm.Add(Lift, 100)
+	tm.AddAllocs(Lift, 100)
+	tm.Span(Infer)()
+	if tm.WallNanos(Lift) != 0 || tm.Allocs(Lift) != 0 {
+		t.Error("nil timer accumulated")
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	var tm Timer
+	tm.Add(Decode, 5)
+	tm.Add(Decode, 7)
+	tm.AddAllocs(Decode, 3)
+	tm.AddAllocs(Decode, -1) // negative deltas (counter races) are dropped
+	if got := tm.WallNanos(Decode); got != 12 {
+		t.Errorf("wall = %d, want 12", got)
+	}
+	if got := tm.Allocs(Decode); got != 3 {
+		t.Errorf("allocs = %d, want 3", got)
+	}
+	if tm.WallNanos(Taint) != 0 {
+		t.Error("untouched stage nonzero")
+	}
+}
+
+var sink []*[64]byte
+
+func TestSpanRecordsWallAndAllocs(t *testing.T) {
+	var tm Timer
+	done := tm.Span(Infer)
+	// Enough escaping allocations to overcome the per-P counter batching
+	// the runtime applies before a metrics.Read flush.
+	sink = sink[:0]
+	for i := 0; i < 4096; i++ {
+		sink = append(sink, new([64]byte))
+	}
+	done()
+	if tm.WallNanos(Infer) <= 0 {
+		t.Error("span recorded no wall time")
+	}
+	if tm.Allocs(Infer) <= 0 {
+		t.Error("span recorded no allocations")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := []string{"decode", "lift", "cfg", "reachdef", "infer", "taint"}
+	stages := Stages()
+	if len(stages) != len(want) {
+		t.Fatalf("%d stages, want %d", len(stages), len(want))
+	}
+	for i, s := range stages {
+		if s.String() != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, s, want[i])
+		}
+	}
+	if NumStages.String() != "stage" {
+		t.Errorf("out-of-range String() = %q", NumStages.String())
+	}
+}
+
+func TestTimerConcurrent(t *testing.T) {
+	var tm Timer
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tm.Add(Lift, 1)
+				tm.AddAllocs(CFG, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if tm.WallNanos(Lift) != 8000 || tm.Allocs(CFG) != 8000 {
+		t.Errorf("lift=%d cfg=%d, want 8000 each", tm.WallNanos(Lift), tm.Allocs(CFG))
+	}
+}

@@ -245,13 +245,13 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 	var eval func(e ir.Expr) tval
 	eval = func(e ir.Expr) tval {
 		switch e := e.(type) {
-		case ir.Const:
+		case *ir.Const:
 			return tval{kind: kConst, c: int32(e.V)}
-		case ir.RdTmp:
+		case *ir.RdTmp:
 			return temps[e.T]
-		case ir.Get:
+		case *ir.Get:
 			return get(treg(e.R))
-		case ir.Binop:
+		case *ir.Binop:
 			l, r := eval(e.L), eval(e.R)
 			t := l.taint || r.taint
 			switch {
@@ -265,7 +265,7 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 				return tval{kind: kSPRel, c: l.c - r.c, taint: t}
 			}
 			return tval{kind: kTop, taint: t}
-		case ir.Load:
+		case *ir.Load:
 			a := eval(e.Addr)
 			switch a.kind {
 			case kSPRel:
@@ -285,12 +285,12 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 	for _, irb := range blk.IR {
 		for _, s := range irb.Stmts {
 			switch s := s.(type) {
-			case ir.WrTmp:
+			case *ir.WrTmp:
 				temps[s.T] = eval(s.E)
 				texpr[s.T] = s.E
-			case ir.Put:
+			case *ir.Put:
 				st[treg(s.R)] = eval(s.E)
-			case ir.Store:
+			case *ir.Store:
 				a := eval(s.Addr)
 				v := eval(s.Val)
 				switch a.kind {
@@ -302,11 +302,11 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 						in.e.taintedGlobals[uint32(a.c)] = true
 					}
 				}
-			case ir.Exit:
+			case *ir.Exit:
 				if obs != nil && in.isRangeCheck(s.Cond, temps, texpr) {
 					obs.rangeCheck = true
 				}
-			case ir.Call:
+			case *ir.Call:
 				if obs != nil && obs.act != nil {
 					in.atCall(irb.Addr, blk.Start, st, get)
 				}
@@ -326,7 +326,7 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 					st[treg(isa.R0)] = tval{kind: kTop, taint: true}
 				}
 				st[treg(isa.LR)] = tval{}
-			case ir.Sys:
+			case *ir.Sys:
 				st[treg(isa.R0)] = tval{}
 			}
 		}
@@ -337,11 +337,11 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 // isRangeCheck recognizes a branch comparing a tainted value against a
 // nonzero constant bound with an ordering comparison.
 func (in *intra) isRangeCheck(cond ir.Expr, temps map[ir.Temp]tval, texpr map[ir.Temp]ir.Expr) bool {
-	rt, ok := cond.(ir.RdTmp)
+	rt, ok := cond.(*ir.RdTmp)
 	if !ok {
 		return false
 	}
-	bin, ok := texpr[rt.T].(ir.Binop)
+	bin, ok := texpr[rt.T].(*ir.Binop)
 	if !ok {
 		return false
 	}
@@ -349,10 +349,10 @@ func (in *intra) isRangeCheck(cond ir.Expr, temps map[ir.Temp]tval, texpr map[ir
 		return false
 	}
 	evalSide := func(e ir.Expr) tval {
-		if t, ok := e.(ir.RdTmp); ok {
+		if t, ok := e.(*ir.RdTmp); ok {
 			return temps[t.T]
 		}
-		if c, ok := e.(ir.Const); ok {
+		if c, ok := e.(*ir.Const); ok {
 			return tval{kind: kConst, c: int32(c.V)}
 		}
 		return tval{}

@@ -153,21 +153,21 @@ func simplify(op ir.BinOp, l, r SVal) SVal {
 // eval computes an IR expression in a state.
 func (e *Engine) eval(s *state, x ir.Expr) SVal {
 	switch x := x.(type) {
-	case ir.Const:
+	case *ir.Const:
 		return SConst{V: uint32(x.V)}
-	case ir.RdTmp:
+	case *ir.RdTmp:
 		if v, ok := s.temps[x.T]; ok {
 			return v
 		}
 		return e.fresh()
-	case ir.Get:
+	case *ir.Get:
 		if v := s.regs[x.R]; v != nil {
 			return v
 		}
 		return e.fresh()
-	case ir.Binop:
+	case *ir.Binop:
 		return simplify(x.Op, e.eval(s, x.L), e.eval(s, x.R))
-	case ir.Load:
+	case *ir.Load:
 		addr := e.eval(s, x.Addr)
 		if c, ok := addr.(SConst); ok {
 			if v, ok := s.mem[c.V]; ok {
@@ -230,17 +230,17 @@ func (e *Engine) Explore() []Resolution {
 				}
 				for _, st := range irb.Stmts {
 					switch st := st.(type) {
-					case ir.WrTmp:
+					case *ir.WrTmp:
 						s.temps[st.T] = e.eval(s, st.E)
-					case ir.Put:
+					case *ir.Put:
 						s.regs[st.R] = e.eval(s, st.E)
-					case ir.Store:
+					case *ir.Store:
 						addr := e.eval(s, st.Addr)
 						val := e.eval(s, st.Val)
 						if c, ok := addr.(SConst); ok {
 							s.mem[c.V] = val
 						}
-					case ir.Exit:
+					case *ir.Exit:
 						// Under-constrained: both outcomes are feasible
 						// unless the condition folded to a constant.
 						switch c := e.eval(s, st.Cond).(type) {
@@ -252,23 +252,23 @@ func (e *Engine) Explore() []Resolution {
 						default:
 							branchTargets = append(branchTargets, st.Target)
 						}
-					case ir.Jump:
+					case *ir.Jump:
 						if st.Dyn == nil {
 							branchTargets = append(branchTargets, st.Target)
 						} else {
 							e.observeJump(s, irb.Addr, st)
 						}
 						fellThrough = false
-					case ir.Call:
+					case *ir.Call:
 						e.observeCall(s, irb.Addr, st)
 						// Havoc caller-saved registers after the call.
 						for r := isa.Reg(0); r < 4; r++ {
 							s.regs[r] = e.fresh()
 						}
 						s.regs[isa.LR] = e.fresh()
-					case ir.Ret:
+					case *ir.Ret:
 						fellThrough = false
-					case ir.Sys:
+					case *ir.Sys:
 						s.regs[isa.R0] = e.fresh()
 					}
 				}
@@ -340,7 +340,7 @@ func (e *Engine) JumpTargets() map[uint32][]uint32 {
 
 // observeJump resolves a computed jump's table, the switch-dispatch pattern
 // Load(table + index*4).
-func (e *Engine) observeJump(s *state, addr uint32, j ir.Jump) {
+func (e *Engine) observeJump(s *state, addr uint32, j *ir.Jump) {
 	target := e.eval(s, j.Dyn)
 	var ts []uint32
 	switch t := target.(type) {
@@ -364,7 +364,7 @@ func (e *Engine) observeJump(s *state, addr uint32, j ir.Jump) {
 }
 
 // observeCall inspects indirect call targets at a call statement.
-func (e *Engine) observeCall(s *state, addr uint32, c ir.Call) {
+func (e *Engine) observeCall(s *state, addr uint32, c *ir.Call) {
 	if c.Kind != ir.CallIndirect {
 		return
 	}
