@@ -3,16 +3,29 @@
 // wait for completion, fetch the byte-stable result JSON, cancel, and
 // scrape health and metrics. cmd/fitsctl and the serve-smoke CI gate are
 // built on it.
+//
+// With a RetryPolicy attached (WithRetry), every call survives transient
+// failures: transport errors and 429/502/503/504 responses are retried
+// with jittered exponential backoff, the server's Retry-After hint is
+// honored, each attempt can carry its own deadline, and a submission
+// interrupted by a transport error is recovered by its content hash
+// rather than re-posted — one submission never becomes two jobs.
 package client
 
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"reflect"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,19 +47,188 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("fitsd: %s (HTTP %d)", e.Message, e.StatusCode)
 }
 
+// RetryPolicy controls how the client survives transient failures. The
+// zero value performs exactly one attempt per call — no retries, no
+// per-attempt deadline — which is also what New configures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call; values <= 1
+	// disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry up to MaxDelay, then a jitter in [d/2, d] spreads concurrent
+	// clients apart. Defaults (when retrying at all): 200ms and 5s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// CallTimeout bounds each individual attempt, but only when the
+	// caller's context carries no deadline of its own; 0 leaves attempts
+	// unbounded.
+	CallTimeout time.Duration
+
+	// sleep and jitter are injection points so tests can observe backoff
+	// decisions without waiting them out.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func(d time.Duration) time.Duration
+}
+
+// DefaultRetryPolicy is a production-reasonable policy: 5 attempts,
+// 200ms doubling to a 5s cap, 30s per attempt.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   200 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		CallTimeout: 30 * time.Second,
+	}
+}
+
 // Client talks to one fitsd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the service at base (e.g.
-// "http://127.0.0.1:8417"). hc may be nil for http.DefaultClient.
+// "http://127.0.0.1:8417"). hc may be nil for http.DefaultClient. The
+// client does not retry; attach a policy with WithRetry.
 func New(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// WithRetry returns a copy of the client that applies the policy to
+// every call.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p
+	return &cp
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// backpressure and the transient gateway errors.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// attempt executes one HTTP exchange: per-attempt deadline (when the
+// caller brought none), full body read, and the parsed Retry-After hint
+// of a refusal.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string) (status int, respBody []byte, retryAfter time.Duration, err error) {
+	actx := ctx
+	if c.retry.CallTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, c.retry.CallTimeout)
+			defer cancel()
+		}
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, b, retryAfter, nil
+}
+
+// backoffDelay picks the wait before retry number retries (0-based): the
+// server's Retry-After verbatim when given, else jittered exponential.
+func (c *Client) backoffDelay(retries int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	base := c.retry.BaseDelay
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	maxd := c.retry.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < retries && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if c.retry.jitter != nil {
+		return c.retry.jitter(d)
+	}
+	// Jitter into [d/2, d] so a burst of refused clients does not retry
+	// in lockstep.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepRetry waits out one backoff, abandoning it if ctx dies first.
+func (c *Client) sleepRetry(ctx context.Context, retries int, retryAfter time.Duration) error {
+	d := c.backoffDelay(retries, retryAfter)
+	if c.retry.sleep != nil {
+		return c.retry.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// call executes one API exchange under the retry policy and returns the
+// final status and body; the caller classifies non-2xx. Transport errors
+// and retryable statuses are retried until the policy is exhausted, then
+// surfaced as-is (so a final 429 still maps to ErrQueueFull).
+func (c *Client) call(ctx context.Context, method, path string, body []byte, contentType string) (int, []byte, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		status, respBody, retryAfter, err := c.attempt(ctx, method, path, body, contentType)
+		if err == nil && !retryableStatus(status) {
+			return status, respBody, nil
+		}
+		if err != nil && ctx.Err() != nil {
+			return 0, nil, err
+		}
+		if attempt >= attempts {
+			if err != nil {
+				return 0, nil, err
+			}
+			return status, respBody, nil
+		}
+		if serr := c.sleepRetry(ctx, attempt-1, retryAfter); serr != nil {
+			return 0, nil, serr
+		}
+	}
 }
 
 // Submit posts firmware bytes with the given options and returns the
@@ -56,17 +238,20 @@ func (c *Client) Submit(ctx context.Context, firmware []byte, opts optbuild.Spec
 	if err != nil {
 		return nil, err
 	}
-	return c.submit(ctx, body)
+	sum := sha256.Sum256(firmware)
+	return c.submitTo(ctx, "/v1/jobs", body, hex.EncodeToString(sum[:]), opts)
 }
 
 // SubmitPath asks the server to read the firmware from a path on *its*
-// filesystem — the cheap route for co-located callers.
+// filesystem — the cheap route for co-located callers. The client never
+// sees the bytes, so no content hash is available for idempotent
+// recovery of an interrupted submission.
 func (c *Client) SubmitPath(ctx context.Context, path string, opts optbuild.Spec) (*server.SubmitResponse, error) {
 	body, err := json.Marshal(server.SubmitRequest{Path: path, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	return c.submit(ctx, body)
+	return c.submitTo(ctx, "/v1/jobs", body, "", opts)
 }
 
 // SubmitDiff posts two firmware versions for an evolution diff and returns
@@ -76,7 +261,12 @@ func (c *Client) SubmitDiff(ctx context.Context, oldFw, newFw []byte, opts optbu
 	if err != nil {
 		return nil, err
 	}
-	return c.submitTo(ctx, "/v1/diffs", body)
+	// Mirror the server's pair identity: both sides hashed separately,
+	// then the concatenated digests hashed again.
+	oldSum := sha256.Sum256(oldFw)
+	newSum := sha256.Sum256(newFw)
+	pair := sha256.Sum256(append(oldSum[:], newSum[:]...))
+	return c.submitTo(ctx, "/v1/diffs", body, hex.EncodeToString(pair[:]), opts)
 }
 
 // SubmitDiffPaths asks the server to read both versions from paths on its
@@ -86,34 +276,62 @@ func (c *Client) SubmitDiffPaths(ctx context.Context, oldPath, newPath string, o
 	if err != nil {
 		return nil, err
 	}
-	return c.submitTo(ctx, "/v1/diffs", body)
+	return c.submitTo(ctx, "/v1/diffs", body, "", opts)
 }
 
-func (c *Client) submit(ctx context.Context, body []byte) (*server.SubmitResponse, error) {
-	return c.submitTo(ctx, "/v1/jobs", body)
-}
-
-func (c *Client) submitTo(ctx context.Context, path string, body []byte) (*server.SubmitResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+// submitTo posts a submission. A POST whose response is lost may still
+// have been accepted by the server, so a plain retry could run the same
+// firmware twice; instead, when a transport error interrupts a
+// hash-carrying submission, the client looks the job up by content hash
+// and adopts the server's copy if one matches.
+func (c *Client) submitTo(ctx context.Context, path string, body []byte, sha string, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	status, respBody, err := c.call(ctx, http.MethodPost, path, body, "application/json")
 	if err != nil {
+		if sha != "" && ctx.Err() == nil && c.retry.MaxAttempts > 1 {
+			if resp, rerr := c.recoverSubmitted(ctx, sha, opts); rerr == nil && resp != nil {
+				return resp, nil
+			}
+		}
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if status < 200 || status > 299 {
+		return nil, asAPIError(status, respBody)
+	}
 	var resp server.SubmitResponse
-	if err := c.do(req, &resp); err != nil {
+	if err := json.Unmarshal(respBody, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Job fetches one job's status, result included once done.
-func (c *Client) Job(ctx context.Context, id string) (*server.JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+// recoverSubmitted checks whether a submission that died mid-flight was
+// in fact accepted: it lists the server's jobs for the content hash and
+// adopts the newest one whose options match what we posted. A nil, nil
+// return means no match — the caller surfaces the original error.
+func (c *Client) recoverSubmitted(ctx context.Context, sha string, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	norm := opts
+	if err := norm.Normalize(); err != nil {
+		return nil, err
+	}
+	jobs, err := c.JobsBySHA(ctx, sha)
 	if err != nil {
 		return nil, err
 	}
+	for i := len(jobs) - 1; i >= 0; i-- {
+		st := jobs[i]
+		if reflect.DeepEqual(st.Options, norm) {
+			return &server.SubmitResponse{
+				ID: st.ID, Location: "/v1/jobs/" + st.ID, State: st.State,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// Job fetches one job's status, result included once done.
+func (c *Client) Job(ctx context.Context, id string) (*server.JobStatus, error) {
 	var st server.JobStatus
-	if err := c.do(req, &st); err != nil {
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -121,12 +339,19 @@ func (c *Client) Job(ctx context.Context, id string) (*server.JobStatus, error) 
 
 // Jobs lists every retained job, oldest first.
 func (c *Client) Jobs(ctx context.Context) ([]server.JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
-	if err != nil {
+	var resp server.ListResponse
+	if err := c.getJSON(ctx, "/v1/jobs", &resp); err != nil {
 		return nil, err
 	}
+	return resp.Jobs, nil
+}
+
+// JobsBySHA lists the retained jobs whose content hash is sha — for a
+// diff job, the hash of both versions' digests. This is the idempotency
+// index: it answers "did my earlier submission of these bytes land?".
+func (c *Client) JobsBySHA(ctx context.Context, sha string) ([]server.JobStatus, error) {
 	var resp server.ListResponse
-	if err := c.do(req, &resp); err != nil {
+	if err := c.getJSON(ctx, "/v1/jobs?sha="+url.QueryEscape(sha), &resp); err != nil {
 		return nil, err
 	}
 	return resp.Jobs, nil
@@ -135,33 +360,27 @@ func (c *Client) Jobs(ctx context.Context) ([]server.JobStatus, error) {
 // Result fetches the raw result JSON of a done job, byte-for-byte as the
 // server stored it.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	status, b, err := c.call(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, "")
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, asAPIError(resp.StatusCode, b)
+	if status != http.StatusOK {
+		return nil, asAPIError(status, b)
 	}
 	return b, nil
 }
 
 // Cancel aborts a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (*server.JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	status, b, err := c.call(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, "")
 	if err != nil {
 		return nil, err
 	}
+	if status < 200 || status > 299 {
+		return nil, asAPIError(status, b)
+	}
 	var st server.JobStatus
-	if err := c.do(req, &st); err != nil {
+	if err := json.Unmarshal(b, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -192,19 +411,16 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*
 }
 
 // Health reads /healthz; a draining server returns its status with a nil
-// error only when the HTTP exchange itself succeeded.
+// error only when the HTTP exchange itself succeeded. Health is a
+// deliberate single attempt — a 503 here *is* the answer ("draining"),
+// not a transient to retry through.
 func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	_, b, _, err := c.attempt(ctx, http.MethodGet, "/healthz", nil, "")
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
 	var h server.HealthResponse
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+	if err := json.Unmarshal(b, &h); err != nil {
 		return nil, err
 	}
 	return &h, nil
@@ -212,38 +428,25 @@ func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 
 // Metrics scrapes /metrics and returns the Prometheus text body.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	status, b, err := c.call(ctx, http.MethodGet, "/metrics", nil, "")
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", asAPIError(resp.StatusCode, b)
+	if status != http.StatusOK {
+		return "", asAPIError(status, b)
 	}
 	return string(b), nil
 }
 
-// do executes a request expecting a 2xx JSON body decoded into out.
-func (c *Client) do(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
+// getJSON executes a retried GET expecting a 2xx JSON body decoded into
+// out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	status, b, err := c.call(ctx, http.MethodGet, path, nil, "")
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return asAPIError(resp.StatusCode, b)
+	if status < 200 || status > 299 {
+		return asAPIError(status, b)
 	}
 	return json.Unmarshal(b, out)
 }

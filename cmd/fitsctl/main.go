@@ -30,6 +30,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fitsctl: ")
 	addr := flag.String("addr", "http://127.0.0.1:8417", "base URL of the fitsd service")
+	retries := flag.Int("retries", 1, "attempts per API call; >1 enables retry with backoff")
+	callTimeout := flag.Duration("call-timeout", 0, "deadline per API call attempt (0 = none)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -37,6 +39,14 @@ func main() {
 		os.Exit(2)
 	}
 	c := client.New(*addr, nil)
+	if *retries > 1 || *callTimeout > 0 {
+		p := client.DefaultRetryPolicy()
+		if *retries > 0 {
+			p.MaxAttempts = *retries
+		}
+		p.CallTimeout = *callTimeout
+		c = c.WithRetry(p)
+	}
 	ctx := context.Background()
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
@@ -68,7 +78,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fitsctl [-addr URL] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: fitsctl [-addr URL] [-retries N] [-call-timeout D] <command> [args]
+
+-retries N enables client-side resilience: transient failures (connection
+errors, 429/502/503/504) are retried up to N attempts with jittered
+exponential backoff honoring the server's Retry-After, and a submission
+interrupted mid-flight is recovered by content hash instead of re-posted.
 
 commands:
   submit [-wait] [-engine E] [-its] [-scan] [-top N] [-j N] [-timeout D] [-by-path] [-out FILE] firmware.fw

@@ -3,17 +3,19 @@ package binimg
 import (
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 
+	"fits/internal/firmware"
 	"fits/internal/intern"
 	"fits/internal/isa"
 )
 
-// Format errors.
+// Format errors. Both wrap firmware.ErrCorrupt — a malformed binary
+// container means a malformed image, and callers (fitsd's 422 mapping)
+// classify with one errors.Is against that root.
 var (
-	ErrBadMagic  = errors.New("binimg: bad magic")
-	ErrTruncated = errors.New("binimg: truncated input")
+	ErrBadMagic  = fmt.Errorf("%w: binimg: bad magic", firmware.ErrCorrupt)
+	ErrTruncated = fmt.Errorf("%w: binimg: truncated input", firmware.ErrCorrupt)
 )
 
 const (
@@ -203,10 +205,11 @@ func DecodeIntern(src []byte, tab *intern.Table) (*Binary, error) {
 		return nil, r.err
 	}
 	if !b.Arch.Valid() {
-		return nil, fmt.Errorf("binimg: unknown architecture %d", b.Arch)
+		return nil, fmt.Errorf("%w: binimg: unknown architecture %d", firmware.ErrCorrupt, b.Arch)
 	}
 	if len(b.Text.Data)%isa.Width != 0 {
-		return nil, fmt.Errorf("binimg: text size %d not a multiple of instruction width", len(b.Text.Data))
+		return nil, fmt.Errorf("%w: binimg: text size %d not a multiple of instruction width",
+			firmware.ErrCorrupt, len(b.Text.Data))
 	}
 	return b, nil
 }

@@ -1,0 +1,60 @@
+package diskstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDiskStore fuzzes the on-disk entry codec from both sides:
+//
+//   - treat the input as a stored entry file (header, lengths, checksum
+//     footer, truncation): decoding must never panic, and any accepted
+//     entry must be the canonical encoding of what it decodes to — the
+//     checksum footer leaves no room for mutated-but-accepted bytes;
+//   - treat the input as (key, payload) parts: the round trip must be
+//     exact, and no strict prefix of a valid entry may decode.
+func FuzzDiskStore(f *testing.F) {
+	f.Add([]byte("FDSE1"), []byte{})
+	f.Add([]byte("not-an-entry"), []byte("payload"))
+	f.Add(encodeEntry("k", []byte("v")), []byte("v"))
+	f.Add(encodeEntry("", []byte{}), []byte{})
+	f.Fuzz(func(t *testing.T, raw, payload []byte) {
+		// Decode arbitrary bytes: no panic, and acceptance implies the
+		// bytes are exactly a canonical entry.
+		if key, got, err := decodeEntry(raw); err == nil {
+			if !bytes.Equal(encodeEntry(key, got), raw) {
+				t.Fatalf("accepted non-canonical entry: key %q payload %q", key, got)
+			}
+		}
+
+		// Round trip bounded inputs.
+		key := string(raw)
+		if len(key) > maxKeyLen {
+			key = key[:maxKeyLen]
+		}
+		enc := encodeEntry(key, payload)
+		k, p, err := decodeEntry(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if k != key || !bytes.Equal(p, payload) {
+			t.Fatalf("round trip mutated: (%q, %q) -> (%q, %q)", key, payload, k, p)
+		}
+		// Truncations of a valid entry must all be rejected.
+		for _, cut := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+			if cut >= len(enc) {
+				continue
+			}
+			if _, _, err := decodeEntry(enc[:cut]); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+
+		// The journal record framing shares the torn-tail contract:
+		// DecodeRecords must never panic and must report a prefix length
+		// within bounds.
+		if recs, n := DecodeRecords(raw); n > len(raw) || (n > 0 && len(recs) == 0) {
+			t.Fatalf("DecodeRecords(%d bytes) = %d records, prefix %d", len(raw), len(recs), n)
+		}
+	})
+}

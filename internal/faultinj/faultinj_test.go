@@ -1,0 +1,92 @@
+package faultinj
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	s.Fail("x", errors.New("boom"))
+	s.FailOnce("x", errors.New("boom"))
+	s.FailAfter("x", 2, errors.New("boom"))
+	s.Delay("x", time.Millisecond)
+	s.Disarm("x")
+	s.Reset()
+	if err := s.Hit("x"); err != nil {
+		t.Fatalf("nil set injected %v", err)
+	}
+	if n := s.Hits("x"); n != 0 {
+		t.Fatalf("nil set counted %d hits", n)
+	}
+}
+
+func TestFailEveryHit(t *testing.T) {
+	s := NewSet()
+	boom := errors.New("boom")
+	s.Fail("p", boom)
+	for i := 0; i < 3; i++ {
+		if err := s.Hit("p"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d: %v", i, err)
+		}
+	}
+	s.Disarm("p")
+	if err := s.Hit("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if got := s.Hits("p"); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+}
+
+func TestFailOnce(t *testing.T) {
+	s := NewSet()
+	boom := errors.New("boom")
+	s.FailOnce("p", boom)
+	if err := s.Hit("p"); !errors.Is(err, boom) {
+		t.Fatalf("first hit: %v", err)
+	}
+	if err := s.Hit("p"); err != nil {
+		t.Fatalf("second hit: %v", err)
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	s := NewSet()
+	boom := errors.New("boom")
+	s.FailAfter("p", 2, boom)
+	for i := 0; i < 2; i++ {
+		if err := s.Hit("p"); err != nil {
+			t.Fatalf("skipped hit %d fired: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Hit("p"); !errors.Is(err, boom) {
+			t.Fatalf("armed hit %d: %v", i, err)
+		}
+	}
+}
+
+func TestUnknownPointPassesThrough(t *testing.T) {
+	s := NewSet()
+	if err := s.Hit("nope"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Hits("nope"); got != 1 {
+		t.Fatalf("Hits = %d, want 1", got)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	s := NewSet()
+	s.Fail("p", errors.New("boom"))
+	s.Hit("p")
+	s.Reset()
+	if err := s.Hit("p"); err != nil {
+		t.Fatalf("reset point fired: %v", err)
+	}
+	if got := s.Hits("p"); got != 1 {
+		t.Fatalf("Hits after reset = %d, want 1 (post-reset hit only)", got)
+	}
+}

@@ -24,11 +24,15 @@ var (
 	MagicStream = []byte("FWST1")
 )
 
-// Unpacking errors.
+// Unpacking errors. ErrCorrupt is the root of every malformed-image
+// error: ErrNoImage, ErrChecksum, and the binimg decode errors all wrap
+// it, so one errors.Is(err, firmware.ErrCorrupt) tells any caller —
+// notably fitsd, which maps it to HTTP 422 — that the input itself is
+// bad and retrying the same bytes can never succeed.
 var (
-	ErrNoImage  = errors.New("firmware: no filesystem image found")
 	ErrCorrupt  = errors.New("firmware: corrupt image")
-	ErrChecksum = errors.New("firmware: checksum mismatch")
+	ErrNoImage  = fmt.Errorf("%w: no filesystem image found", ErrCorrupt)
+	ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 )
 
 // Scheme selects the vendor encoding applied around the filesystem.

@@ -20,17 +20,36 @@ import (
 
 // Job states, as reported in JobStatus.State.
 const (
-	StateQueued   = "queued"
-	StateRunning  = "running"
-	StateDone     = "done"
-	StateFailed   = "failed"
-	StateCanceled = "canceled"
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+	// StateInterrupted marks a job that was mid-run when the daemon
+	// crashed: its work is lost but its submission was acknowledged, so
+	// on restart it is reported terminal-and-retryable rather than
+	// silently dropped. Resubmitting the same bytes re-runs it (or, if a
+	// result reached disk first, serves it instantly).
+	StateInterrupted = "interrupted"
+	StateCanceled    = "canceled"
 )
 
 // TerminalState reports whether a job in this state will never run again.
 func TerminalState(s string) bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateInterrupted
 }
+
+// Failure reasons, reported in JobStatus.Reason alongside State "failed"
+// so callers can distinguish retryable from permanent failures.
+const (
+	// ReasonCorrupt marks a job that failed because the submitted image
+	// is malformed (the error chain includes firmware.ErrCorrupt);
+	// fetching its result yields 422, and retrying the same bytes can
+	// never succeed.
+	ReasonCorrupt = "corrupt_image"
+	// ReasonPanic marks a job whose analysis panicked on a hostile image;
+	// the panic was confined to the job and the daemon stayed up.
+	ReasonPanic = "panic"
+)
 
 // KindDiff marks a job submitted via POST /v1/diffs. Plain analysis jobs
 // have an empty kind.
@@ -86,9 +105,12 @@ type JobStatus struct {
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 	// ElapsedMS is the run duration (started→finished); diagnostic, like
 	// Cache, and therefore not part of Result.
-	ElapsedMS int64       `json:"elapsed_ms,omitempty"`
-	Error     string      `json:"error,omitempty"`
-	Cache     *CacheDelta `json:"cache,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Reason classifies a failure ("corrupt_image", "panic"); empty for
+	// ordinary errors and non-failed states.
+	Reason string      `json:"reason,omitempty"`
+	Cache  *CacheDelta `json:"cache,omitempty"`
 	// Result is the analysis result JSON, present once State is "done"
 	// (also served raw by GET /v1/jobs/{id}/result).
 	Result json.RawMessage `json:"result,omitempty"`

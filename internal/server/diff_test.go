@@ -187,7 +187,7 @@ func TestDiffSharesQueueWithJobs(t *testing.T) {
 func TestDiffBadRequests(t *testing.T) {
 	r := newStubRunner()
 	close(r.release)
-	srv := server.New(server.Config{Workers: 1, DiffRunner: r.runDiff})
+	srv := mustServer(t, server.Config{Workers: 1, DiffRunner: r.runDiff})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	defer func() {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"fits/internal/firmware"
 	"fits/internal/optbuild"
 )
 
@@ -20,6 +21,14 @@ type Job struct {
 	size int
 	kind string // "" for analysis, KindDiff for evolution diffs; immutable
 	spec optbuild.Spec
+	// diskKey is the job's identity in the on-disk result store (content
+	// hash + config epoch + options); empty when persistence is off.
+	// Immutable after creation.
+	diskKey string
+	// loadResult lazily reads the result JSON of a crash-recovered done
+	// job from the disk store, so boot replay does not pull every
+	// historical result into memory. Immutable after creation.
+	loadResult func() []byte
 
 	mu        sync.Mutex
 	state     string    // guarded by mu
@@ -29,6 +38,7 @@ type Job struct {
 	started   time.Time // guarded by mu
 	finished  time.Time // guarded by mu
 	err       string    // guarded by mu
+	reason    string    // failure classification (ReasonCorrupt, ReasonPanic); guarded by mu
 	result    []byte    // guarded by mu
 	cache     CacheDelta // guarded by mu
 	// cancelRequested distinguishes a DELETE-initiated abort from a
@@ -70,8 +80,12 @@ func (j *Job) start(base context.Context, serverTimeout time.Duration, now time.
 
 // finish records the runner outcome and classifies the terminal state,
 // returning it with the run duration so callers need no unlocked reads of
-// the timing fields.
-func (j *Job) finish(out *RunOutput, err error, now time.Time) (state string, elapsed time.Duration) {
+// the timing fields. The durable callback (nil allowed) runs under the
+// job lock after classification but before the terminal state becomes
+// observable: runJob persists the result and journals the finished
+// record there, so no client ever reads a terminal state that a restart
+// could not reproduce from disk.
+func (j *Job) finish(out *RunOutput, err error, now time.Time, durable func(state, errStr string)) (state string, elapsed time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.cancel != nil {
@@ -81,20 +95,34 @@ func (j *Job) finish(out *RunOutput, err error, now time.Time) (state string, el
 	j.raw = nil
 	j.raw2 = nil
 	j.finished = now
+	var pe *panicError
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = out.ResultJSON
 		j.cache = out.Cache
+	case errors.As(err, &pe):
+		// A panic is never reclassified as a cancellation: the job died on
+		// its own input, and the captured stack is the diagnosis.
+		j.state = StateFailed
+		j.reason = ReasonPanic
+		j.err = err.Error()
 	case j.cancelRequested || j.drained || errors.Is(err, context.Canceled):
 		j.state = StateCanceled
 		j.err = "canceled"
 	case errors.Is(err, context.DeadlineExceeded):
 		j.state = StateFailed
 		j.err = "job timeout exceeded"
+	case errors.Is(err, firmware.ErrCorrupt):
+		j.state = StateFailed
+		j.reason = ReasonCorrupt
+		j.err = err.Error()
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
+	}
+	if durable != nil {
+		durable(j.state, j.err)
 	}
 	return j.state, j.finished.Sub(j.started)
 }
@@ -161,23 +189,33 @@ func (j *Job) Snapshot(includeResult bool) JobStatus {
 		}
 	}
 	s.Error = j.err
+	s.Reason = j.reason
 	if j.state == StateDone {
 		d := j.cache
 		s.Cache = &d
 		if includeResult {
-			s.Result = j.result
+			s.Result = j.resultLocked()
 		}
 	}
 	return s
 }
 
 // resultBytes returns the stored result JSON, or nil if the job is not
-// done.
+// done (or its recovered on-disk result is unreadable).
 func (j *Job) resultBytes() []byte {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateDone {
 		return nil
+	}
+	return j.resultLocked()
+}
+
+// resultLocked resolves the result bytes, pulling a crash-recovered job's
+// result from the disk store on first use. Callers hold j.mu.
+func (j *Job) resultLocked() []byte {
+	if j.result == nil && j.loadResult != nil {
+		j.result = j.loadResult()
 	}
 	return j.result
 }

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"fits/internal/diskstore"
+	"fits/internal/modelcache"
+	"fits/internal/optbuild"
+)
+
+// persist.go glues the server to its durability layer (internal/diskstore):
+// computing the on-disk identity of a submission, journaling job
+// transitions before they are acknowledged, and replaying the journal at
+// boot so no acknowledged job is ever lost to a crash.
+//
+// The crash contract, in journal terms:
+//
+//	accepted, no started   → the job never ran; re-enqueue it verbatim
+//	                         (firmware bytes come back from the blob store)
+//	started, no finished   → the job was mid-run at the crash; report it
+//	                         interrupted (terminal, retryable)
+//	finished               → recreate the terminal record; a done job's
+//	                         result is served from the disk store on demand
+//
+// Every disk entry is checksummed; anything corrupt is quarantined by the
+// diskstore layer and the job it belonged to degrades to a miss or a
+// clean failure — never to wrong bytes.
+
+// jobKey computes the content address of a submission in the on-disk
+// result store. It reuses the model cache's identity scheme — SHA-256 of
+// every input plus the analysis-config epoch — with the normalized option
+// spec as the config string, so identical bytes under identical options
+// map to one entry across restarts, and any pipeline-semantics bump
+// (modelcache.ConfigVersion) invalidates the lot.
+func jobKey(kind string, spec optbuild.Spec, sums ...modelcache.Hash) string {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		// Spec is a plain struct; marshal cannot fail. Keep a defensive
+		// fallback that still yields a usable (if conservative) key.
+		specJSON = []byte("unmarshalable")
+	}
+	k := "job"
+	if kind == KindDiff {
+		k = "diff"
+	}
+	return modelcache.Key(k, string(specJSON), sums...)
+}
+
+// journalAccept appends the job's accepted record (and its firmware
+// blobs) to the durability layer. It must succeed before the 202 is
+// written: an acknowledged job that is not journaled would be lost by a
+// crash, which is the one outcome this subsystem exists to prevent.
+func (s *Server) journalAccept(j *Job, raw, raw2 []byte) error {
+	if s.journal == nil {
+		return nil
+	}
+	blobSHA, err := s.persist.PutBlob(raw)
+	if err != nil {
+		return fmt.Errorf("persisting firmware blob: %w", err)
+	}
+	var blobSHA2 string
+	if raw2 != nil {
+		if blobSHA2, err = s.persist.PutBlob(raw2); err != nil {
+			return fmt.Errorf("persisting firmware blob: %w", err)
+		}
+	}
+	specJSON, err := json.Marshal(j.spec)
+	if err != nil {
+		return err
+	}
+	return s.journal.Append(diskstore.Record{
+		Op:   diskstore.OpAccepted,
+		ID:   j.id,
+		Seq:  j.seq,
+		Kind: j.kind,
+		SHA:  blobSHA,
+		SHA2: blobSHA2,
+		Size: j.size,
+		Spec: specJSON,
+		Key:  j.diskKey,
+	})
+}
+
+// journalStarted marks the job as picked up by a worker. Best-effort: if
+// the append fails the job still runs; a crash would then replay it as
+// queued (re-run) instead of interrupted, which loses no information.
+func (s *Server) journalStarted(j *Job) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(diskstore.Record{Op: diskstore.OpStarted, ID: j.id}); err != nil {
+		s.mPersistErrors.Inc()
+		s.cfg.Logf("job %s: journal started append failed: %v", j.id, err)
+	}
+}
+
+// journalFinished records the terminal outcome. Best-effort: on failure
+// the next boot replays the job as interrupted rather than terminal,
+// which is still never-lost, merely pessimistic.
+func (s *Server) journalFinished(j *Job, state, errStr string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(diskstore.Record{
+		Op: diskstore.OpFinished, ID: j.id, State: state, Error: errStr,
+	}); err != nil {
+		s.mPersistErrors.Inc()
+		s.cfg.Logf("job %s: journal finished append failed: %v", j.id, err)
+	}
+}
+
+// journalDone records a disk-hit job — born terminal, never run — so its
+// ID survives a restart: an accepted record (without blobs, since replay
+// never re-runs a finished job) followed by the done record. Best-effort.
+func (s *Server) journalDone(j *Job, sha, sha2 string) {
+	if s.journal == nil {
+		return
+	}
+	specJSON, err := json.Marshal(j.spec)
+	if err != nil {
+		return
+	}
+	for _, rec := range []diskstore.Record{
+		{Op: diskstore.OpAccepted, ID: j.id, Seq: j.seq, Kind: j.kind,
+			SHA: sha, SHA2: sha2, Size: j.size, Spec: specJSON, Key: j.diskKey},
+		{Op: diskstore.OpFinished, ID: j.id, State: StateDone},
+	} {
+		if err := s.journal.Append(rec); err != nil {
+			s.mPersistErrors.Inc()
+			s.cfg.Logf("job %s: journal append failed: %v", j.id, err)
+			return
+		}
+	}
+}
+
+// persistResult writes a completed job's result JSON into the disk store
+// under its content address. Best-effort: a failure costs future disk
+// hits, not correctness.
+func (s *Server) persistResult(j *Job, resultJSON []byte) {
+	if s.persist == nil || j.diskKey == "" {
+		return
+	}
+	if err := s.persist.Put(j.diskKey, resultJSON); err != nil {
+		s.mPersistErrors.Inc()
+		s.cfg.Logf("job %s: persisting result failed: %v", j.id, err)
+	}
+}
+
+// diskLookup serves a submission from the on-disk result store when the
+// same bytes under the same options completed before (this run or any
+// earlier one). A corrupt entry has been quarantined by Get and reads as
+// a miss.
+func (s *Server) diskLookup(key string) []byte {
+	if s.persist == nil {
+		return nil
+	}
+	payload, err := s.persist.Get(key)
+	if err != nil {
+		s.cfg.Logf("disk store: %v", err)
+		return nil
+	}
+	return payload
+}
+
+// replayState aggregates one job's journal records.
+type replayState struct {
+	acc     diskstore.Record
+	started bool
+	fin     *diskstore.Record
+}
+
+// replayJournal reconstructs jobs from the surviving records, registers
+// them in the in-memory store, and returns the jobs to re-enqueue plus
+// the compacted journal contents. Aggregation is genuinely
+// order-independent per job: accept() enqueues before it journals, so a
+// fast worker can append started (even finished) ahead of the handler's
+// accepted record — a first pass indexes the accepted records, a second
+// applies the transitions. A started or finished record whose job was
+// never accepted (the handler's append failed and the job was refused)
+// is dropped.
+func (s *Server) replayJournal(recs []diskstore.Record) (requeue []*Job, compact []diskstore.Record) {
+	byID := map[string]*replayState{}
+	var order []string
+	var maxSeq uint64
+	for _, rec := range recs {
+		if rec.Op != diskstore.OpAccepted {
+			continue
+		}
+		if _, ok := byID[rec.ID]; !ok {
+			byID[rec.ID] = &replayState{acc: rec}
+			order = append(order, rec.ID)
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	for _, rec := range recs {
+		switch rec.Op {
+		case diskstore.OpStarted:
+			if st, ok := byID[rec.ID]; ok {
+				st.started = true
+			}
+		case diskstore.OpFinished:
+			if st, ok := byID[rec.ID]; ok {
+				fin := rec
+				st.fin = &fin
+			}
+		}
+	}
+	s.seq.Store(maxSeq)
+
+	for _, id := range order {
+		st := byID[id]
+		j := s.recoverJob(st)
+		s.store.add(j)
+		switch j.currentState() {
+		case StateQueued:
+			requeue = append(requeue, j)
+			compact = append(compact, st.acc)
+		default:
+			s.store.markTerminal(j)
+			state, errStr := j.currentState(), j.snapshotError()
+			compact = append(compact, st.acc, diskstore.Record{
+				Op: diskstore.OpFinished, ID: j.id, State: state, Error: errStr,
+			})
+		}
+	}
+	return requeue, compact
+}
+
+// recoverJob rebuilds one job from its aggregated journal records.
+func (s *Server) recoverJob(st *replayState) *Job {
+	acc := st.acc
+	var spec optbuild.Spec
+	if len(acc.Spec) > 0 {
+		json.Unmarshal(acc.Spec, &spec)
+	}
+	j := &Job{
+		id:        acc.ID,
+		seq:       acc.Seq,
+		sha:       acc.SHA,
+		size:      acc.Size,
+		kind:      acc.Kind,
+		spec:      spec,
+		diskKey:   acc.Key,
+		submitted: s.now(),
+	}
+	if acc.Kind == KindDiff {
+		j.sha = pairSHA(acc.SHA, acc.SHA2)
+	}
+	// The job is unpublished, but take its (fresh, uncontended) lock so
+	// the guarded-field invariant holds by construction.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case st.fin != nil:
+		j.state = st.fin.State
+		if !TerminalState(j.state) {
+			// A finished record always carries a terminal state; tolerate
+			// hand-edited logs by degrading to interrupted.
+			j.state = StateInterrupted
+		}
+		j.err = st.fin.Error
+		j.finished = j.submitted
+		if j.state == StateDone {
+			key := acc.Key
+			j.loadResult = func() []byte { return s.diskLookup(key) }
+		}
+	case st.started:
+		j.state = StateInterrupted
+		j.err = "interrupted: daemon restarted while the job was running; resubmit to retry"
+		j.finished = j.submitted
+		s.mInterrupted.Inc()
+	default:
+		// Accepted, never started: bring the firmware bytes back from the
+		// blob store and requeue. The blob was fsynced before the accepted
+		// record, so a miss here means on-disk corruption — fail cleanly.
+		raw, raw2, err := s.recoverBlobs(acc)
+		if err != nil {
+			j.state = StateFailed
+			j.err = fmt.Sprintf("firmware bytes unrecoverable after restart: %v", err)
+			j.finished = j.submitted
+			break
+		}
+		j.state = StateQueued
+		j.raw = raw
+		j.raw2 = raw2
+	}
+	return j
+}
+
+// recoverBlobs loads a replayed job's firmware bytes from the blob store.
+func (s *Server) recoverBlobs(acc diskstore.Record) (raw, raw2 []byte, err error) {
+	raw, err = s.persist.GetBlob(acc.SHA)
+	if err != nil {
+		return nil, nil, err
+	}
+	if raw == nil {
+		return nil, nil, fmt.Errorf("blob %s missing", acc.SHA)
+	}
+	if acc.SHA2 != "" {
+		raw2, err = s.persist.GetBlob(acc.SHA2)
+		if err != nil {
+			return nil, nil, err
+		}
+		if raw2 == nil {
+			return nil, nil, fmt.Errorf("blob %s missing", acc.SHA2)
+		}
+	}
+	return raw, raw2, nil
+}
+
+// pairSHA recomputes a diff job's pair identity from its two blob hashes,
+// matching handleSubmitDiff's construction.
+func pairSHA(sha, sha2 string) string {
+	b1, err1 := hex.DecodeString(sha)
+	b2, err2 := hex.DecodeString(sha2)
+	if err1 != nil || err2 != nil {
+		return sha
+	}
+	pair := sha256.Sum256(append(b1, b2...))
+	return hex.EncodeToString(pair[:])
+}
+
+// snapshotError reads the job's error string under its lock.
+func (j *Job) snapshotError() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

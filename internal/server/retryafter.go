@@ -1,0 +1,88 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// retryafter.go derives the Retry-After value sent with 429 backpressure
+// refusals from what the server actually knows: how many jobs are ahead
+// in the queue and how long recent jobs took. A constant "1" (the old
+// behavior) teaches every client to hammer a loaded server once a second;
+// a derived value spreads the retries across the window in which a slot
+// is actually likely to open.
+
+// latencyWindow is how many recent job durations feed the estimate. Small
+// enough to track load shifts, large enough to ride out one outlier.
+const latencyWindow = 32
+
+// latencyDefault seeds the estimate before any job has finished.
+const latencyDefault = time.Second
+
+// retryAfterMax caps the advertised wait; past this, clients should be
+// polling anyway rather than trusting a stale estimate.
+const retryAfterMax = 60
+
+// latencyTracker keeps a ring of the most recent job run durations.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring [latencyWindow]time.Duration // guarded by mu
+	n    int                          // filled slots; guarded by mu
+	idx  int                          // next write position; guarded by mu
+}
+
+// observe records one finished job's run duration.
+func (lt *latencyTracker) observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.ring[lt.idx] = d
+	lt.idx = (lt.idx + 1) % latencyWindow
+	if lt.n < latencyWindow {
+		lt.n++
+	}
+}
+
+// avg returns the mean of the recorded durations, or 0 when none exist.
+func (lt *latencyTracker) avg() time.Duration {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < lt.n; i++ {
+		sum += lt.ring[i]
+	}
+	return sum / time.Duration(lt.n)
+}
+
+// deriveRetryAfter estimates, in whole seconds, when a queue slot should
+// open: the queued jobs drain at roughly workers per avg-latency, so a
+// newcomer waits about (queued/workers + 1) job durations. Clamped to
+// [1, retryAfterMax]; avg <= 0 falls back to latencyDefault.
+func deriveRetryAfter(queued, workers int, avg time.Duration) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if avg <= 0 {
+		avg = latencyDefault
+	}
+	wait := time.Duration(queued/workers+1) * avg
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > retryAfterMax {
+		secs = retryAfterMax
+	}
+	return secs
+}
+
+// retryAfterSeconds snapshots the live queue depth and latency estimate.
+func (s *Server) retryAfterSeconds() int {
+	return deriveRetryAfter(len(s.queue), s.cfg.Workers, s.lat.avg())
+}

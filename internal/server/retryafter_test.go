@@ -1,0 +1,58 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeriveRetryAfter pins the derived backpressure hint: roughly the
+// time for the queue ahead to drain plus one slot, clamped to [1, 60].
+func TestDeriveRetryAfter(t *testing.T) {
+	cases := []struct {
+		name    string
+		queued  int
+		workers int
+		avg     time.Duration
+		want    int
+	}{
+		{"empty queue, no history", 0, 1, 0, 1},
+		{"no history falls back to 1s per job", 3, 1, 0, 4},
+		{"fast jobs round up to a second", 3, 2, 100 * time.Millisecond, 1},
+		{"queue drains across workers", 10, 2, time.Second, 6},
+		{"single worker", 10, 1, time.Second, 11},
+		{"zero workers treated as one", 10, 0, time.Second, 11},
+		{"fractional seconds round up", 1, 1, 700 * time.Millisecond, 2},
+		{"clamped at the cap", 1000, 1, time.Minute, 60},
+	}
+	for _, tc := range cases {
+		if got := deriveRetryAfter(tc.queued, tc.workers, tc.avg); got != tc.want {
+			t.Errorf("%s: deriveRetryAfter(%d, %d, %s) = %d, want %d",
+				tc.name, tc.queued, tc.workers, tc.avg, got, tc.want)
+		}
+	}
+}
+
+// TestLatencyTracker checks the ring: empty → 0, averaging, window
+// eviction of old samples, and rejection of negative durations.
+func TestLatencyTracker(t *testing.T) {
+	var lt latencyTracker
+	if got := lt.avg(); got != 0 {
+		t.Fatalf("empty avg = %s, want 0", got)
+	}
+	lt.observe(2 * time.Second)
+	lt.observe(4 * time.Second)
+	if got := lt.avg(); got != 3*time.Second {
+		t.Fatalf("avg = %s, want 3s", got)
+	}
+	lt.observe(-time.Second) // ignored
+	if got := lt.avg(); got != 3*time.Second {
+		t.Fatalf("avg after negative = %s, want 3s", got)
+	}
+	// Fill the window with 1s samples; the early outliers must age out.
+	for i := 0; i < latencyWindow; i++ {
+		lt.observe(time.Second)
+	}
+	if got := lt.avg(); got != time.Second {
+		t.Fatalf("avg after window of 1s = %s, want 1s", got)
+	}
+}

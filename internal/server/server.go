@@ -14,6 +14,12 @@
 // callers see 429 instead of the server seeing OOM. Shutdown stops intake,
 // cancels jobs still queued, lets in-flight jobs finish until the caller's
 // deadline, then hard-cancels their contexts and waits for the workers.
+//
+// With Config.DataDir set the server is additionally crash-safe (see
+// persist.go and internal/diskstore): accepted jobs are journaled before
+// the 202 and replayed on boot, completed results are content-addressed
+// on disk and served instantly on resubmission, and a panic in the
+// analysis of a hostile image fails only that job.
 package server
 
 import (
@@ -28,12 +34,18 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fits"
+	"fits/internal/diskstore"
+	"fits/internal/faultinj"
+	"fits/internal/modelcache"
 	"fits/internal/optbuild"
 	"fits/internal/stagetime"
 )
@@ -74,6 +86,14 @@ type Config struct {
 	// DiffRunner replaces the evolution-diff pipeline behind POST /v1/diffs
 	// (default DefaultDiffRunner).
 	DiffRunner DiffRunner
+	// DataDir enables the durability layer: a content-addressed on-disk
+	// result store and a write-ahead journal for the job queue, rooted at
+	// this directory. Empty disables persistence (the pre-existing,
+	// memory-only behavior).
+	DataDir string
+	// Failpoints injects faults into the durability layer's filesystem
+	// operations; nil (the default) disarms every point. Tests only.
+	Failpoints *faultinj.Set
 	// Logf receives one line per job transition; nil silences logging.
 	Logf func(format string, args ...any)
 }
@@ -126,13 +146,23 @@ type Server struct {
 	seq     atomic.Uint64
 	running sync.Map // job id -> *Job, jobs currently in a worker
 
-	mAccepted  *Counter
-	mRejected  *Counter
-	mCompleted *Counter
-	mFailed    *Counter
-	mCanceled  *Counter
-	gRunning   *Gauge
-	hDuration  *Histogram
+	// persist and journal form the durability layer; both are nil when
+	// Config.DataDir is empty. lat feeds the derived Retry-After.
+	persist *diskstore.Store
+	journal *diskstore.Journal
+	lat     latencyTracker
+
+	mAccepted      *Counter
+	mRejected      *Counter
+	mCompleted     *Counter
+	mFailed        *Counter
+	mCanceled      *Counter
+	mPanics        *Counter
+	mInterrupted   *Counter
+	mDiskHits      *Counter
+	mPersistErrors *Counter
+	gRunning       *Gauge
+	hDuration      *Histogram
 
 	// diffReuse holds the float64 bits of the last completed diff's
 	// function-reuse ratio, exported as fits_diff_reuse_ratio.
@@ -148,8 +178,13 @@ type Server struct {
 	now func() time.Time
 }
 
-// New builds a server and starts its workers and store janitor.
-func New(cfg Config) *Server {
+// New builds a server and starts its workers and store janitor. With
+// Config.DataDir set it also opens the durability layer and replays the
+// job journal: jobs accepted but never started before the last crash are
+// re-enqueued ahead of new submissions, jobs caught mid-run come back
+// interrupted, and finished jobs reappear terminal with their results
+// served from disk on demand.
+func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
 		cfg:  cfg,
@@ -159,7 +194,6 @@ func New(cfg Config) *Server {
 		now:  time.Now,
 	}
 	s.store = newStore(cfg.StoreCap, cfg.StoreTTL, func() time.Time { return s.now() })
-	s.queue = make(chan *Job, cfg.QueueDepth)
 	//fitslint:ignore ctxflow server-lifetime root: every job context derives from it and Shutdown cancels it
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
@@ -168,6 +202,10 @@ func New(cfg Config) *Server {
 	s.mCompleted = s.reg.Counter("fitsd_jobs_completed_total", "Jobs that finished successfully.")
 	s.mFailed = s.reg.Counter("fitsd_jobs_failed_total", "Jobs that ended in an error (including timeouts).")
 	s.mCanceled = s.reg.Counter("fitsd_jobs_canceled_total", "Jobs canceled by DELETE or server drain.")
+	s.mPanics = s.reg.Counter("fitsd_job_panics_total", "Analysis panics recovered and confined to their job.")
+	s.mInterrupted = s.reg.Counter("fitsd_jobs_interrupted_total", "Jobs found mid-run by journal replay after a crash.")
+	s.mDiskHits = s.reg.Counter("fitsd_disk_hits_total", "Submissions answered from the on-disk result store without running.")
+	s.mPersistErrors = s.reg.Counter("fitsd_persist_errors_total", "Non-fatal failures of the durability layer (journal appends, result writes).")
 	s.gRunning = s.reg.Gauge("fitsd_jobs_running", "Jobs currently executing in a worker.")
 	s.reg.GaugeFunc("fitsd_queue_depth", "Jobs accepted but not yet picked up by a worker.",
 		func() float64 { return float64(len(s.queue)) })
@@ -213,6 +251,47 @@ func New(cfg Config) *Server {
 			func() float64 { return c.Stats().HitRate() })
 	}
 
+	// Open the durability layer and replay the journal before any worker
+	// starts, so recovered jobs are enqueued ahead of new submissions and
+	// no worker can observe a half-replayed store. The queue is sized up if
+	// a crash left more acknowledged jobs than the configured depth —
+	// replay must never drop what was 202'd.
+	var requeue []*Job
+	if cfg.DataDir != "" {
+		var err error
+		s.persist, err = diskstore.Open(cfg.DataDir, cfg.Failpoints)
+		if err != nil {
+			return nil, err
+		}
+		journal, recs, err := diskstore.OpenJournal(filepath.Join(cfg.DataDir, "journal.wal"), cfg.Failpoints)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		var compact []diskstore.Record
+		requeue, compact = s.replayJournal(recs)
+		if err := journal.Rewrite(compact); err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			s.cfg.Logf("journal replay: %d records, %d jobs re-enqueued", len(recs), len(requeue))
+		}
+		s.reg.CounterFunc("fitsd_disk_writes_total", "Result entries durably written to the disk store.",
+			func() float64 { return float64(s.persist.Stats().Writes) })
+		s.reg.CounterFunc("fitsd_disk_quarantined_total", "Corrupt on-disk entries quarantined instead of served.",
+			func() float64 { return float64(s.persist.Stats().Quarantined) })
+		s.reg.GaugeFunc("fitsd_disk_entries", "Result entries currently in the disk store.",
+			func() float64 { return float64(s.persist.Stats().Entries) })
+	}
+	depth := cfg.QueueDepth
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	s.queue = make(chan *Job, depth)
+	for _, j := range requeue {
+		s.queue <- j
+	}
+
 	s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
@@ -220,7 +299,7 @@ func New(cfg Config) *Server {
 	}
 	s.janitorWG.Add(1)
 	go s.janitor()
-	return s
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -275,18 +354,24 @@ func (s *Server) runJob(j *Job) {
 		// Canceled while queued; already terminal and counted.
 		return
 	}
+	s.journalStarted(j)
 	s.running.Store(j.id, j)
 	s.gRunning.Add(1)
 	s.cfg.Logf("job %s: running (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
 	env := RunEnv{Cache: s.cfg.Cache, Sched: s.sched, Stages: new(fits.StageTimer)}
-	var out *RunOutput
-	var err error
-	if j.kind == KindDiff {
-		out, err = s.cfg.DiffRunner(ctx, raw, raw2, j.spec, env)
-	} else {
-		out, err = s.cfg.Runner(ctx, raw, j.spec, env)
-	}
-	state, elapsed := j.finish(out, err, s.now())
+	out, err := s.invokeRunner(ctx, j, raw, raw2, env)
+	// Persist the result, then journal the terminal record, both before
+	// the job's new state is observable (the callback runs under the job
+	// lock): a client that reads "done" is guaranteed a restart replays
+	// "done" with the result on disk. A crash between result and record
+	// replays the job as interrupted (pessimistic but honest), never as
+	// done-with-missing-result.
+	state, elapsed := j.finish(out, err, s.now(), func(state, errStr string) {
+		if state == StateDone && out != nil {
+			s.persistResult(j, out.ResultJSON)
+		}
+		s.journalFinished(j, state, errStr)
+	})
 	for _, st := range stagetime.Stages() {
 		if ns := env.Stages.WallNanos(st); ns > 0 {
 			s.hStage[st].Observe(float64(ns) / 1e9)
@@ -295,6 +380,7 @@ func (s *Server) runJob(j *Job) {
 	s.gRunning.Add(-1)
 	s.running.Delete(j.id)
 	s.hDuration.Observe(elapsed.Seconds())
+	s.lat.observe(elapsed)
 	switch state {
 	case StateDone:
 		s.mCompleted.Inc()
@@ -308,6 +394,38 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.cfg.Logf("job %s: %s after %s", j.id, state, elapsed.Round(time.Millisecond))
 	s.store.markTerminal(j)
+}
+
+// panicError wraps a panic recovered from a job runner: the recovered
+// value plus the goroutine stack at the panic site, which becomes the
+// job's error text so a hostile image is diagnosable after the fact.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("analysis panicked: %v\n%s", e.val, e.stack)
+}
+
+// invokeRunner dispatches to the analysis or diff pipeline and confines
+// any panic to the calling job: the worker goroutine survives, the job
+// fails with the captured stack, and the daemon keeps serving. Without
+// this, one hostile image in internal/binimg's decode path would take
+// down every queued job with it.
+func (s *Server) invokeRunner(ctx context.Context, j *Job, raw, raw2 []byte, env RunEnv) (out *RunOutput, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mPanics.Inc()
+			out = nil
+			err = &panicError{val: r, stack: debug.Stack()}
+			s.cfg.Logf("job %s: panic isolated: %v", j.id, r)
+		}
+	}()
+	if j.kind == KindDiff {
+		return s.cfg.DiffRunner(ctx, raw, raw2, j.spec, env)
+	}
+	return s.cfg.Runner(ctx, raw, j.spec, env)
 }
 
 // observeDiff folds one completed diff's diagnostics into the metrics.
@@ -359,6 +477,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				if terminal, _ := j.requestCancel(s.now()); terminal {
 					s.mCanceled.Inc()
 					s.store.markTerminal(j)
+					s.journalFinished(j, StateCanceled, "canceled")
 				}
 				continue
 			default:
@@ -391,7 +510,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.baseCancel()
 	s.janitorWG.Wait()
+	// Workers are done, so no appends remain in flight; only the first
+	// Shutdown closes the journal and releases the data-dir lock
+	// (concurrent calls both waited above).
+	if !already && s.journal != nil {
+		s.journal.Close()
+	}
+	if !already && s.persist != nil {
+		s.persist.Close()
+	}
 	return err
+}
+
+// Close abruptly releases the server's persistence handles — the journal
+// fd and the data-dir lock — without draining workers or canceling jobs.
+// It is the in-process analogue of kill -9 for crash tests: everything
+// fsynced so far stays on disk, anything in flight is abandoned, and a
+// new Server can immediately open the same data dir. Appends after Close
+// fail cleanly (best-effort journal writes log and count the error).
+// Idempotent; safe alongside a later Shutdown, whose own closes no-op.
+func (s *Server) Close() error {
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	if s.persist != nil {
+		return s.persist.Close()
+	}
+	return nil
 }
 
 // ---- handlers ----
@@ -431,7 +576,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		raw:       raw,
 		submitted: s.now(),
 	}
-	s.accept(w, j)
+	if s.persist != nil {
+		j.diskKey = jobKey(j.kind, spec, modelcache.Hash(sum))
+		if payload := s.diskLookup(j.diskKey); payload != nil {
+			s.completeFromDisk(w, j, payload, j.sha, "")
+			return
+		}
+	}
+	s.accept(w, j, raw, nil)
 }
 
 // handleSubmitDiff accepts an evolution-diff job: two firmware versions,
@@ -478,12 +630,23 @@ func (s *Server) handleSubmitDiff(w http.ResponseWriter, r *http.Request) {
 		raw2:      newRaw,
 		submitted: s.now(),
 	}
-	s.accept(w, j)
+	if s.persist != nil {
+		j.diskKey = jobKey(j.kind, spec, modelcache.Hash(oldSum), modelcache.Hash(newSum))
+		if payload := s.diskLookup(j.diskKey); payload != nil {
+			s.completeFromDisk(w, j, payload,
+				hex.EncodeToString(oldSum[:]), hex.EncodeToString(newSum[:]))
+			return
+		}
+	}
+	s.accept(w, j, oldRaw, newRaw)
 }
 
-// accept stores and enqueues a prepared job, writing the 202 (or the
-// backpressure refusal) to w.
-func (s *Server) accept(w http.ResponseWriter, j *Job) {
+// accept stores, enqueues and journals a prepared job, writing the 202
+// (or the backpressure refusal) to w. The backpressure path touches no
+// disk — a loaded server refuses cheaply — and the 202 is written only
+// after the accepted record is durable, so a crash at any point either
+// loses a job the client was never promised or keeps one it was.
+func (s *Server) accept(w http.ResponseWriter, j *Job, raw, raw2 []byte) {
 	s.store.add(j)
 	if err := s.enqueue(j); err != nil {
 		s.store.remove(j.id)
@@ -492,9 +655,23 @@ func (s *Server) accept(w http.ResponseWriter, j *Job) {
 			return
 		}
 		s.mRejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests,
 			fmt.Sprintf("job queue is full (depth %d); retry later", s.cfg.QueueDepth))
+		return
+	}
+	if err := s.journalAccept(j, raw, raw2); err != nil {
+		// The job may already be in a worker; cancel it instead of
+		// acknowledging a submission the journal cannot protect. Replay
+		// drops the orphaned started/finished records it may still write.
+		s.mPersistErrors.Inc()
+		if terminal, _ := j.requestCancel(s.now()); terminal {
+			s.mCanceled.Inc()
+			s.store.markTerminal(j)
+		}
+		s.cfg.Logf("job %s: refused, journal append failed: %v", j.id, err)
+		writeErr(w, http.StatusInternalServerError,
+			fmt.Sprintf("cannot persist job acceptance: %v", err))
 		return
 	}
 	s.mAccepted.Inc()
@@ -502,6 +679,32 @@ func (s *Server) accept(w http.ResponseWriter, j *Job) {
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID: j.id, Location: "/v1/jobs/" + j.id, State: StateQueued,
+	})
+}
+
+// completeFromDisk finishes a submission whose result already exists in
+// the on-disk store: the job is born terminal, its result is the stored
+// bytes, and no worker runs. The journal still records it so the job ID
+// survives a further restart.
+func (s *Server) completeFromDisk(w http.ResponseWriter, j *Job, payload []byte, sha, sha2 string) {
+	now := s.now()
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = payload
+	j.raw = nil
+	j.raw2 = nil
+	j.finished = now
+	j.mu.Unlock()
+	key := j.diskKey
+	j.loadResult = func() []byte { return s.diskLookup(key) }
+	s.store.add(j)
+	s.store.markTerminal(j)
+	s.mDiskHits.Inc()
+	s.journalDone(j, sha, sha2)
+	s.cfg.Logf("job %s: served from disk store (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: j.id, Location: "/v1/jobs/" + j.id, State: StateDone,
 	})
 }
 
@@ -591,8 +794,15 @@ func (s *Server) sideBytes(fw []byte, path, side string) ([]byte, error) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.store.list()
+	// ?sha= narrows the listing to jobs of one submission identity (the
+	// image hash, or the pair hash for diffs); clients use it to recover
+	// a job they submitted but whose 202 a network failure ate.
+	sha := r.URL.Query().Get("sha")
 	resp := ListResponse{Jobs: make([]JobStatus, 0, len(jobs))}
 	for _, j := range jobs {
+		if sha != "" && j.sha != sha {
+			continue
+		}
 		resp.Jobs = append(resp.Jobs, j.Snapshot(false))
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -615,7 +825,20 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	b := j.resultBytes()
 	if b == nil {
-		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", j.currentState()))
+		st := j.Snapshot(false)
+		switch {
+		case st.State == StateFailed && st.Reason == ReasonCorrupt:
+			// The submitted image itself is malformed: a permanent failure
+			// of the input, not a transient one of the job.
+			writeErr(w, http.StatusUnprocessableEntity, "firmware image is corrupt: "+st.Error)
+		case st.State == StateDone:
+			// Recovered job whose on-disk result vanished or failed its
+			// checksum after the journal said done.
+			writeErr(w, http.StatusInternalServerError,
+				"result unavailable: the on-disk copy is missing or corrupt; resubmit to recompute")
+		default:
+			writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", st.State))
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -633,6 +856,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if terminalNow {
 		s.mCanceled.Inc()
 		s.store.markTerminal(j)
+		s.journalFinished(j, StateCanceled, "canceled")
 	}
 	if !changed && !TerminalState(j.currentState()) {
 		writeErr(w, http.StatusConflict, "job cannot be canceled")

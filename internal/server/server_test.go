@@ -64,9 +64,19 @@ func (r *stubRunner) waitStarted(t *testing.T) {
 	}
 }
 
+// mustServer builds a server or fails the test.
+func mustServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newTestService(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
 	t.Helper()
-	srv := server.New(cfg)
+	srv := mustServer(t, cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -208,7 +218,7 @@ func TestBackpressure(t *testing.T) {
 
 func TestBackpressureRetryAfterHeader(t *testing.T) {
 	r := newStubRunner()
-	srv := server.New(server.Config{Workers: 1, QueueDepth: 1, Runner: r.run})
+	srv := mustServer(t, server.Config{Workers: 1, QueueDepth: 1, Runner: r.run})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	defer func() {
@@ -319,7 +329,7 @@ func TestJobTimeout(t *testing.T) {
 // new submissions get 503.
 func TestGracefulDrain(t *testing.T) {
 	r := newStubRunner()
-	srv := server.New(server.Config{Workers: 1, QueueDepth: 4, Runner: r.run})
+	srv := mustServer(t, server.Config{Workers: 1, QueueDepth: 4, Runner: r.run})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := client.New(ts.URL, ts.Client())
@@ -378,7 +388,7 @@ func TestGracefulDrain(t *testing.T) {
 // deadline must hard-cancel the job and still return.
 func TestDrainDeadlineCancelsInFlight(t *testing.T) {
 	r := newStubRunner()
-	srv := server.New(server.Config{Workers: 1, Runner: r.run})
+	srv := mustServer(t, server.Config{Workers: 1, Runner: r.run})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	c := client.New(ts.URL, ts.Client())
@@ -458,7 +468,7 @@ func TestConcurrentSubmitsSharedCache(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	r := newStubRunner()
 	close(r.release)
-	srv := server.New(server.Config{Workers: 1, Runner: r.run, MaxUploadBytes: 64})
+	srv := mustServer(t, server.Config{Workers: 1, Runner: r.run, MaxUploadBytes: 64})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	defer func() {
