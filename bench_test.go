@@ -290,6 +290,97 @@ func BenchmarkPipeline_SingleFirmwareCached(b *testing.B) {
 }
 
 var (
+	benchXCorpusOnce sync.Once
+	benchXCorpusVal  []CorpusFile
+	benchXCorpusErr  error
+)
+
+// benchXCorpus generates the multi-binary cross-channel corpus once for the
+// corpus benchmarks.
+func benchXCorpus(b *testing.B) []CorpusFile {
+	b.Helper()
+	benchXCorpusOnce.Do(func() {
+		x, err := synth.GenerateXCorpus(1)
+		if err != nil {
+			benchXCorpusErr = err
+			return
+		}
+		for _, f := range x.Files {
+			benchXCorpusVal = append(benchXCorpusVal, CorpusFile{Path: f.Path, Data: f.Data})
+		}
+	})
+	if benchXCorpusErr != nil {
+		b.Fatalf("xcorpus: %v", benchXCorpusErr)
+	}
+	return benchXCorpusVal
+}
+
+// BenchmarkCrossCorpus_ModeComparison regenerates the cross-binary
+// evaluation table: CTS, CTS+ITS and the keyword-seeded cross-binary
+// fixpoint scored against the planted corpus flows. The cross-flow recall
+// gap is the subsystem's reproduction target.
+func BenchmarkCrossCorpus_ModeComparison(b *testing.B) {
+	x, err := synth.GenerateXCorpus(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []eval.XScoreRow
+	for i := 0; i < b.N; i++ {
+		if rows, err = eval.RunXScore(context.Background(), x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable("Cross-binary corpus: mode comparison", eval.FormatXScore(rows))
+	last := rows[len(rows)-1]
+	b.ReportMetric(100*last.Recall, "cross-recall-%")
+	b.ReportMetric(float64(last.CrossTP), "cross-flows-found")
+	b.ReportMetric(float64(rows[0].CrossTP+rows[1].CrossTP), "cross-flows-found-baselines")
+}
+
+// BenchmarkPipeline_CorpusXScan measures the full cross-binary corpus scan —
+// front-end sweep, corpus load, keyword seeding and the channel fixpoint —
+// on the synthetic multi-binary corpus. Rounds and cross-alert counts land
+// as metrics so bench-smoke catches a fixpoint that stops converging in the
+// same number of rounds.
+func BenchmarkPipeline_CorpusXScan(b *testing.B) {
+	files := benchXCorpus(b)
+	b.ResetTimer()
+	var rep *CorpusReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rep, err = XScan(files, XScanOptions{StringFilter: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Rounds), "rounds")
+	b.ReportMetric(float64(rep.CrossHit), "cross-alerts")
+	b.ReportMetric(float64(len(rep.Binaries)), "binaries")
+}
+
+// BenchmarkPipeline_CorpusXScanCached is the corpus scan behind a warm
+// cache: models, rankings and per-round scan results are all reused, so the
+// timed iterations pay only the front-end sweep, decode and the join logic.
+func BenchmarkPipeline_CorpusXScanCached(b *testing.B) {
+	files := benchXCorpus(b)
+	opts := XScanOptions{StringFilter: true, Cache: NewCache(0, 0)}
+	if _, err := XScan(files, opts); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	var rep *CorpusReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rep, err = XScan(files, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.CrossHit), "cross-alerts")
+	b.ReportMetric(100*opts.Cache.Stats().HitRate(), "cache-hit-%")
+}
+
+var (
 	benchChainOnce sync.Once
 	benchChainVal  *synth.Chain
 	benchChainErr  error

@@ -254,6 +254,28 @@ func (c *Client) SubmitPath(ctx context.Context, path string, opts optbuild.Spec
 	return c.submitTo(ctx, "/v1/jobs", body, "", opts)
 }
 
+// SubmitCorpus posts a packed firmware corpus (fits.PackCorpus bytes) for
+// a cross-binary taint scan and returns the accepted job; its result is the
+// CorpusReport JSON of fits.XScan.
+func (c *Client) SubmitCorpus(ctx context.Context, packed []byte, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	body, err := json.Marshal(server.CorpusSubmitRequest{Corpus: packed, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(packed)
+	return c.submitTo(ctx, "/v1/corpora", body, hex.EncodeToString(sum[:]), opts)
+}
+
+// SubmitCorpusPath asks the server to read a packed corpus from a path on
+// its own filesystem.
+func (c *Client) SubmitCorpusPath(ctx context.Context, path string, opts optbuild.Spec) (*server.SubmitResponse, error) {
+	body, err := json.Marshal(server.CorpusSubmitRequest{Path: path, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return c.submitTo(ctx, "/v1/corpora", body, "", opts)
+}
+
 // SubmitDiff posts two firmware versions for an evolution diff and returns
 // the accepted job; its result is the server's DiffJobResult JSON.
 func (c *Client) SubmitDiff(ctx context.Context, oldFw, newFw []byte, opts optbuild.Spec) (*server.SubmitResponse, error) {

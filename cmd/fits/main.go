@@ -8,6 +8,8 @@
 //	fits -j 8 -timeout 30s firmware.fw  # 8 workers, abort after 30s
 //	fits -unpack firmware.fw            # list the filesystem only
 //	fits diff old.fw new.fw             # alert/ITS churn between versions
+//	fits xscan tree/                    # cross-binary corpus taint (JSON)
+//	fits -xmode its xscan tree/         # single-binary baseline mode
 //
 // Option plumbing is shared with cmd/fwscan and fitsd via
 // internal/optbuild.
@@ -15,10 +17,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"fits"
 	"fits/internal/firmware"
@@ -33,14 +37,20 @@ func main() {
 	var cacheCfg optbuild.CacheConfig
 	cacheCfg.BindFlags(flag.CommandLine)
 	unpackOnly := flag.Bool("unpack", false, "only unpack and list the filesystem")
+	xmode := flag.String("xmode", "cross", "corpus seeding mode for xscan: cts, its or cross")
 	flag.Parse()
 	if flag.NArg() == 3 && flag.Arg(0) == "diff" {
 		runDiff(spec, cacheCfg, flag.Arg(1), flag.Arg(2))
 		return
 	}
+	if flag.NArg() == 2 && flag.Arg(0) == "xscan" {
+		runXScan(spec, cacheCfg, *xmode, flag.Arg(1))
+		return
+	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: fits [-top N] [-j N] [-timeout D] [-cache-size N] [-no-cache] [-unpack] firmware.fw\n" +
-			"       fits diff old.fw new.fw")
+			"       fits diff old.fw new.fw\n" +
+			"       fits [-xmode cts|its|cross] xscan corpus-dir/")
 	}
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -76,6 +86,59 @@ func main() {
 			fmt.Printf("  %d. %#x  score %.4f\n", i+1, c.Entry, c.Score)
 		}
 	}
+}
+
+// runXScan analyzes an unpacked firmware tree as one corpus and prints the
+// report as JSON. The output is byte-identical across worker counts and
+// cache temperature.
+func runXScan(spec optbuild.Spec, cacheCfg optbuild.CacheConfig, mode, dir string) {
+	files, err := readCorpusDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := spec.Context(context.Background())
+	defer cancel()
+	rep, err := fits.XScanContext(ctx, files, fits.XScanOptions{
+		Mode:         mode,
+		TopK:         spec.TopK,
+		StringFilter: true,
+		Parallelism:  spec.Parallelism,
+		Cache:        cacheCfg.New(),
+		Progress:     func(msg string) { fmt.Fprintln(os.Stderr, "xscan: "+msg) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// readCorpusDir collects every regular file under dir with slash-separated
+// relative paths, in deterministic walk order.
+func readCorpusDir(dir string) ([]fits.CorpusFile, error) {
+	var files []fits.CorpusFile
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		files = append(files, fits.CorpusFile{Path: filepath.ToSlash(rel), Data: data})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return files, nil
 }
 
 // runDiff analyzes two versions of an image incrementally and prints the

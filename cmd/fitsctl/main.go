@@ -5,6 +5,7 @@
 //
 //	fitsctl [-addr URL] submit [-wait] [-engine E] [-its] [-top N] [-scan] [-out F] firmware.fw
 //	fitsctl [-addr URL] diff [-wait] [-by-path] [-out F] old.fw new.fw
+//	fitsctl [-addr URL] corpus [-wait] [-xmode M] [-out F] tree-dir
 //	fitsctl [-addr URL] status <job-id>
 //	fitsctl [-addr URL] result <job-id>
 //	fitsctl [-addr URL] list
@@ -19,8 +20,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
+	"fits"
 	"fits/client"
 	"fits/internal/optbuild"
 	"fits/internal/server"
@@ -55,6 +58,8 @@ func main() {
 		err = runSubmit(ctx, c, args)
 	case "diff":
 		err = runDiff(ctx, c, args)
+	case "corpus":
+		err = runCorpus(ctx, c, args)
 	case "status":
 		err = runStatus(ctx, c, args)
 	case "result":
@@ -88,6 +93,9 @@ interrupted mid-flight is recovered by content hash instead of re-posted.
 commands:
   submit [-wait] [-engine E] [-its] [-scan] [-top N] [-j N] [-timeout D] [-by-path] [-out FILE] firmware.fw
   diff [-wait] [-engine E] [-top N] [-j N] [-timeout D] [-by-path] [-out FILE] old.fw new.fw
+  corpus [-wait] [-xmode M] [-top N] [-j N] [-timeout D] [-out FILE] tree-dir|packed.fw
+                       cross-binary taint scan over a firmware tree (a
+                       directory is packed client-side; a file is sent as-is)
   status <job-id>      print one job's status JSON
   result <job-id>      print a done job's result JSON
   list                 list retained jobs
@@ -173,6 +181,70 @@ func runDiff(ctx context.Context, c *client.Client, args []string) error {
 		return nil
 	}
 	return awaitResult(ctx, c, resp.ID, *poll, *out)
+}
+
+// runCorpus submits an unpacked firmware tree (or an already-packed corpus
+// container) for a cross-binary taint scan.
+func runCorpus(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	var spec optbuild.Spec
+	spec.BindAnalyzeFlags(fs)
+	fs.StringVar(&spec.XMode, "xmode", "cross", "corpus seeding mode: cts, its or cross")
+	wait := fs.Bool("wait", false, "block until the scan finishes and print its result")
+	out := fs.String("out", "", "with -wait: write the result JSON to this file")
+	poll := fs.Duration("poll", 100*time.Millisecond, "with -wait: status poll interval")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("corpus: want exactly one tree directory or packed corpus, got %d args", fs.NArg())
+	}
+	packed, err := packCorpusArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	resp, err := c.SubmitCorpus(ctx, packed, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s %s\n", resp.ID, resp.State)
+	if !*wait {
+		return nil
+	}
+	return awaitResult(ctx, c, resp.ID, *poll, *out)
+}
+
+// packCorpusArg resolves the corpus argument: a directory is walked and
+// packed client-side, a regular file is assumed already packed.
+func packCorpusArg(path string) ([]byte, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return os.ReadFile(path)
+	}
+	var files []fits.CorpusFile
+	err = filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(path, p)
+		if err != nil {
+			return err
+		}
+		files = append(files, fits.CorpusFile{Path: filepath.ToSlash(rel), Data: data})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("corpus: no files under %s", path)
+	}
+	return fits.PackCorpus(files), nil
 }
 
 // awaitResult blocks until the job is done and prints (or writes) its

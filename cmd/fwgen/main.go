@@ -6,6 +6,7 @@
 //	fwgen -out corpus/            # write all 59 samples
 //	fwgen -out corpus/ -vendor NETGEAR
 //	fwgen -list                   # print the dataset without writing
+//	fwgen -multibin tree/         # write one unpacked multi-binary corpus
 package main
 
 import (
@@ -25,7 +26,14 @@ func main() {
 	out := flag.String("out", "", "output directory for firmware images and manifests")
 	vendor := flag.String("vendor", "", "generate only this vendor's samples")
 	list := flag.Bool("list", false, "list the dataset and exit")
+	multibin := flag.String("multibin", "", "write a generated multi-binary corpus tree to this directory")
+	seed := flag.Int64("seed", 1, "generation seed for -multibin")
 	flag.Parse()
+
+	if *multibin != "" {
+		writeMultibin(*multibin, *seed)
+		return
+	}
 
 	specs := synth.Dataset()
 	if *list {
@@ -70,4 +78,33 @@ func main() {
 		fmt.Printf("wrote %s (%d bytes, %d planted bugs)\n", img, len(sample.Packed), sample.Manifest.TrueBugs())
 	}
 	fmt.Printf("generated %d firmware samples\n", n)
+}
+
+// writeMultibin materializes one generated multi-binary corpus as an
+// unpacked firmware tree: back-end binaries under bin/, front-end artifacts
+// under www/ and etc/, plus the ground-truth flow manifest.
+func writeMultibin(dir string, seed int64) {
+	x, err := synth.GenerateXCorpus(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range x.Files {
+		p := filepath.Join(dir, filepath.FromSlash(f.Path))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(p, f.Data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	man, err := json.MarshalIndent(x.Manifest, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "xmanifest.json")
+	if err := os.WriteFile(manPath, man, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d corpus files + %s (%d binaries, %d planted flows)\n",
+		len(x.Files), manPath, len(x.Manifest.Binaries), len(x.Manifest.Flows))
 }

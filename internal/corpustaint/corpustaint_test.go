@@ -1,0 +1,173 @@
+package corpustaint
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fits/internal/modelcache"
+	"fits/internal/synth"
+)
+
+func xrun(t *testing.T, opts Options) *Report {
+	t.Helper()
+	x, err := synth.GenerateXCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), x.Files, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// alertAt finds the report alert at (binary, func entry, sink).
+func alertAt(rep *Report, binary string, entry uint32, sink string) (Alert, bool) {
+	for _, a := range rep.Alerts {
+		if a.Binary == binary && a.Func == entry && a.Sink == sink {
+			return a, true
+		}
+	}
+	return Alert{}, false
+}
+
+func TestModeCrossFindsPlantedFlows(t *testing.T) {
+	x, err := synth.GenerateXCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), x.Files, Options{Mode: ModeCross, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := x.Manifest
+
+	if !reflect.DeepEqual(rep.Keywords, m.Keywords) {
+		t.Errorf("keywords = %v, want %v", rep.Keywords, m.Keywords)
+	}
+	for _, f := range m.Flows {
+		a, ok := alertAt(rep, f.SinkBinary, f.SinkEntry, f.Sink)
+		if f.Vulnerable && !ok {
+			t.Errorf("flow %s: no alert at %s %#x %s", f.Name, f.SinkBinary, f.SinkEntry, f.Sink)
+			continue
+		}
+		if !f.Vulnerable {
+			if ok {
+				t.Errorf("flow %s: unexpected alert %+v", f.Name, a)
+			}
+			continue
+		}
+		if f.CrossBinary {
+			if a.Source != "xchan" {
+				t.Errorf("flow %s: source = %s, want xchan", f.Name, a.Source)
+			}
+			if a.Provenance == nil {
+				t.Errorf("flow %s: no provenance", f.Name)
+				continue
+			}
+			if a.Provenance.FrontKey != f.FrontKey || a.Provenance.FrontFile != f.FrontFile {
+				t.Errorf("flow %s: front = %s@%s, want %s@%s", f.Name,
+					a.Provenance.FrontKey, a.Provenance.FrontFile, f.FrontKey, f.FrontFile)
+			}
+			if len(a.Provenance.Hops) != len(f.Hops) {
+				t.Errorf("flow %s: %d hops, want %d (%+v)", f.Name,
+					len(a.Provenance.Hops), len(f.Hops), a.Provenance.Hops)
+				continue
+			}
+			for i, h := range f.Hops {
+				got := a.Provenance.Hops[i]
+				if got.Binary != h.FromBinary || got.Chan != h.Chan.String() || got.Key != h.Key {
+					t.Errorf("flow %s hop %d = %+v, want %+v", f.Name, i, got, h)
+				}
+			}
+		}
+	}
+	if rep.CrossHit != len(m.CrossFlows())-1 { // benign-board never alerts
+		t.Errorf("cross alerts = %d, want %d", rep.CrossHit, len(m.CrossFlows())-1)
+	}
+	if rep.Rounds < 3 {
+		t.Errorf("rounds = %d, want >= 3 (two-hop flow needs a second discovery round)", rep.Rounds)
+	}
+	// The two-hop endpoint is discovered one round after the direct ones.
+	roundOf := map[string]int{}
+	for _, e := range rep.Tainted {
+		roundOf[e.Chan+":"+e.Key] = e.Round
+	}
+	if roundOf["env:WL_STATE"] != roundOf["nvram:wl_key"]+1 {
+		t.Errorf("tainted rounds = %v, want WL_STATE one after wl_key", roundOf)
+	}
+}
+
+// TestSingleBinaryModesMissCrossFlows is the acceptance claim: back-end
+// binaries have no network imports and no classical sources, so CTS and
+// CTS+ITS seeding provably produce zero alerts in them, while ModeCross
+// reaches every planted cross-binary sink.
+func TestSingleBinaryModesMissCrossFlows(t *testing.T) {
+	x, err := synth.GenerateXCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := x.Manifest
+	for _, mode := range []Mode{ModeCTS, ModeITS} {
+		rep, err := Run(context.Background(), x.Files, Options{Mode: mode, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.CrossHit != 0 || len(rep.Tainted) != 0 || rep.Rounds != 1 {
+			t.Errorf("%s: cross=%d tainted=%d rounds=%d, want 0/0/1",
+				mode, rep.CrossHit, len(rep.Tainted), rep.Rounds)
+		}
+		for _, a := range rep.Alerts {
+			if a.Binary != "bin/httpd" {
+				t.Errorf("%s: alert outside border binary: %+v", mode, a)
+			}
+		}
+		for _, f := range m.CrossFlows() {
+			if _, ok := alertAt(rep, f.SinkBinary, f.SinkEntry, f.Sink); ok {
+				t.Errorf("%s: detected cross flow %s (should be impossible)", mode, f.Name)
+			}
+		}
+	}
+
+	// Mode separation on the border binary itself: CTS sees only the raw
+	// flow; ITS adds the keyed local flow.
+	cts := xrun(t, Options{Mode: ModeCTS, Parallelism: 1})
+	if len(cts.Alerts) != 1 || cts.Alerts[0].Source != "cts-region" {
+		t.Errorf("cts alerts = %+v, want the one raw flow", cts.Alerts)
+	}
+	its := xrun(t, Options{Mode: ModeITS, Parallelism: 1})
+	var local, raw bool
+	for _, f := range m.Flows {
+		if a, ok := alertAt(its, f.SinkBinary, f.SinkEntry, f.Sink); ok {
+			switch f.Name {
+			case "local-vuln":
+				local = a.Source == "its"
+			case "raw-vuln":
+				raw = true
+			}
+		}
+	}
+	if !local || !raw {
+		t.Errorf("its mode: local=%v raw=%v, want both (alerts %+v)", local, raw, its.Alerts)
+	}
+}
+
+func TestRunDeterministicAcrossWorkersAndCache(t *testing.T) {
+	base := xrun(t, Options{Mode: ModeCross, Parallelism: 1})
+	for _, par := range []int{2, 4, 8} {
+		got := xrun(t, Options{Mode: ModeCross, Parallelism: par})
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("parallelism %d diverges from 1", par)
+		}
+	}
+	cache := modelcache.New(0, 0)
+	cold := xrun(t, Options{Mode: ModeCross, Parallelism: 4, Cache: cache})
+	warm := xrun(t, Options{Mode: ModeCross, Parallelism: 4, Cache: cache})
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cold and warm cache reports differ")
+	}
+	if !reflect.DeepEqual(base, cold) {
+		t.Fatal("cached report diverges from uncached")
+	}
+}

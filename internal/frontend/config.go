@@ -1,0 +1,37 @@
+package frontend
+
+// scanConfig extracts keys from key=value (or key: value) configuration
+// files, the defaults web UIs round-trip back through request parameters.
+// Comment lines (#, ;) and section headers ([...]) are skipped; a key must
+// be a clean identifier spanning everything left of the separator.
+func scanConfig(path string, data []byte) []Keyword {
+	li := newLineIndex(data)
+	var out []Keyword
+	lineStart := 0
+	for lineStart <= len(data) {
+		lineEnd := lineStart
+		for lineEnd < len(data) && data[lineEnd] != '\n' {
+			lineEnd++
+		}
+		s := skipSpace(data, lineStart)
+		if s < lineEnd && data[s] != '#' && data[s] != ';' && data[s] != '[' {
+			name := identAt(data, s)
+			if name != "" {
+				sep := s + len(name)
+				// Allow spaces between the key and the separator.
+				for sep < lineEnd && (data[sep] == ' ' || data[sep] == '\t') {
+					sep++
+				}
+				if sep < lineEnd && (data[sep] == '=' || data[sep] == ':') {
+					line, col := li.at(s)
+					out = append(out, Keyword{Name: name, File: path, Line: line, Col: col})
+				}
+			}
+		}
+		if lineEnd >= len(data) {
+			break
+		}
+		lineStart = lineEnd + 1
+	}
+	return out
+}

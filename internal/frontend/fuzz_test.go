@@ -1,0 +1,28 @@
+package frontend
+
+import "testing"
+
+// FuzzFrontend feeds arbitrary bytes through every artifact parser.
+// Invariants: extraction never panics, every keyword is a non-empty
+// bounded identifier, and every reported location points at the keyword's
+// bytes inside the file — malformed, truncated or binary input must
+// degrade to fewer keywords, never to out-of-range provenance.
+func FuzzFrontend(f *testing.F) {
+	f.Add([]byte(`<form><input type="text" name="username"></form>`))
+	f.Add([]byte(`fetch("/apply.cgi?wifi_pass=" + v); formData.append("tz", t)`))
+	f.Add([]byte("ping_host=8.8.8.8\nntp_server = pool.ntp.org\n"))
+	f.Add([]byte(`<input name="unterminated`))
+	f.Add([]byte(`"a=&b=` + "\x00\xff"))
+	f.Add([]byte(`<select name=`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, path := range []string{"w/x.html", "w/x.js", "e/x.conf"} {
+			for _, k := range Extract(path, data) {
+				if k.File != path {
+					t.Fatalf("file %q, want %q", k.File, path)
+				}
+				checkLocation(t, data, k)
+			}
+		}
+	})
+}

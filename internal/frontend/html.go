@@ -1,0 +1,136 @@
+package frontend
+
+// scanHTML extracts the name attributes of form-control tags (<input>,
+// <select>, <textarea>, <button>): the parameter names a browser submits.
+// It is a byte scanner over tag syntax — unbalanced quotes, truncated tags
+// and stray '<' produce fewer matches, never a failure.
+func scanHTML(path string, data []byte) []Keyword {
+	li := newLineIndex(data)
+	var out []Keyword
+	i := 0
+	for i < len(data) {
+		if data[i] != '<' {
+			i++
+			continue
+		}
+		// Read the tag name.
+		j := i + 1
+		for j < len(data) && identByte(data[j]) {
+			j++
+		}
+		tag := lowerASCII(data[i+1 : j])
+		if !formTag(tag) {
+			i = j
+			continue
+		}
+		// Scan attributes up to '>' (or EOF), honoring quoted values.
+		end, attrs := scanAttrs(data, j)
+		for _, a := range attrs {
+			if a.name != "name" {
+				continue
+			}
+			name := identAt(data, a.valOff)
+			// Only accept the attribute when the identifier spans the whole
+			// value — "a b" or "x[]" are not back-end parameter names the
+			// binary-side matcher could see as a single key.
+			if name == "" || len(name) != a.valLen {
+				continue
+			}
+			line, col := li.at(a.valOff)
+			out = append(out, Keyword{Name: name, File: path, Line: line, Col: col})
+		}
+		i = end
+	}
+	return out
+}
+
+func formTag(tag string) bool {
+	switch tag {
+	case "input", "select", "textarea", "button":
+		return true
+	}
+	return false
+}
+
+type attr struct {
+	name   string
+	valOff int // byte offset of the value's first byte
+	valLen int
+}
+
+// scanAttrs parses attribute pairs from off until '>' or EOF, returning
+// the position after the tag. Values may be single-quoted, double-quoted
+// or bare.
+func scanAttrs(data []byte, off int) (int, []attr) {
+	var out []attr
+	i := off
+	for i < len(data) && data[i] != '>' {
+		c := data[i]
+		if !identStart(c) {
+			i++
+			continue
+		}
+		// Attribute name.
+		j := i
+		for j < len(data) && identByte(data[j]) {
+			j++
+		}
+		name := lowerASCII(data[i:j])
+		// Optional "= value".
+		k := skipSpace(data, j)
+		if k >= len(data) || data[k] != '=' {
+			i = j
+			continue
+		}
+		k = skipSpace(data, k+1)
+		if k >= len(data) {
+			break
+		}
+		var valOff, valEnd int
+		if data[k] == '"' || data[k] == '\'' {
+			q := data[k]
+			valOff = k + 1
+			valEnd = valOff
+			for valEnd < len(data) && data[valEnd] != q && data[valEnd] != '>' && data[valEnd] != '\n' {
+				valEnd++
+			}
+			i = valEnd
+			if i < len(data) && data[i] == q {
+				i++
+			}
+		} else {
+			valOff = k
+			valEnd = k
+			for valEnd < len(data) && data[valEnd] != ' ' && data[valEnd] != '\t' &&
+				data[valEnd] != '\n' && data[valEnd] != '\r' && data[valEnd] != '>' {
+				valEnd++
+			}
+			i = valEnd
+		}
+		if valEnd > valOff {
+			out = append(out, attr{name: name, valOff: valOff, valLen: valEnd - valOff})
+		}
+	}
+	if i < len(data) && data[i] == '>' {
+		i++
+	}
+	return i, out
+}
+
+func skipSpace(data []byte, i int) int {
+	for i < len(data) && (data[i] == ' ' || data[i] == '\t' || data[i] == '\n' || data[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+func lowerASCII(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

@@ -1,0 +1,94 @@
+package frontend
+
+// scanJS extracts request parameter names from JavaScript: query-string
+// keys inside string literals ("/apply.cgi?wifi_pass=" + v) and the first
+// string argument of parameter-carrying calls (formData.append("timezone",
+// tz), params.set("lang", l)). String literals are lexed with escape
+// handling; everything else is pattern matching around them, robust to
+// arbitrary garbage between matches.
+func scanJS(path string, data []byte) []Keyword {
+	li := newLineIndex(data)
+	var out []Keyword
+	i := 0
+	for i < len(data) {
+		c := data[i]
+		if c != '"' && c != '\'' && c != '`' {
+			i++
+			continue
+		}
+		start := i + 1
+		end := start
+		for end < len(data) && data[end] != c && data[end] != '\n' {
+			if data[end] == '\\' && end+1 < len(data) {
+				end++
+			}
+			end++
+		}
+		// Keys inside the literal: an identifier directly before '=' at the
+		// start of the literal or after '?' or '&'.
+		for p := start; p < end; p++ {
+			if p > start && data[p-1] != '?' && data[p-1] != '&' {
+				continue
+			}
+			name := identAt(data, p)
+			if name == "" {
+				continue
+			}
+			eq := p + len(name)
+			if eq >= end || data[eq] != '=' {
+				continue
+			}
+			line, col := li.at(p)
+			out = append(out, Keyword{Name: name, File: path, Line: line, Col: col})
+		}
+		// First string argument of .append( / .set( / .get( calls.
+		if callee := callBefore(data, i); paramCall(callee) {
+			name := identAt(data, start)
+			if name != "" && start+len(name) == end {
+				line, col := li.at(start)
+				out = append(out, Keyword{Name: name, File: path, Line: line, Col: col})
+			}
+		}
+		i = end
+		if i < len(data) && data[i] == c {
+			i++
+		}
+	}
+	return out
+}
+
+// callBefore returns the method name when the literal at off is the first
+// argument of a call: ident '(' [space] literal.
+func callBefore(data []byte, off int) string {
+	i := off - 1
+	for i >= 0 && (data[i] == ' ' || data[i] == '\t') {
+		i--
+	}
+	if i < 0 || data[i] != '(' {
+		return ""
+	}
+	i--
+	end := i + 1
+	for i >= 0 && identByte(data[i]) {
+		i--
+	}
+	if end == i+1 {
+		return ""
+	}
+	// Keep the last dotted segment: formData.append -> append.
+	seg := i + 1
+	for p := seg; p < end; p++ {
+		if data[p] == '.' {
+			seg = p + 1
+		}
+	}
+	return lowerASCII(data[seg:end])
+}
+
+func paramCall(name string) bool {
+	switch name {
+	case "append", "set", "get", "getparameter":
+		return true
+	}
+	return false
+}

@@ -57,18 +57,27 @@ func IsSource(name string) bool {
 	return ok
 }
 
-// SinkKind distinguishes the two vulnerability classes detected.
+// SinkKind distinguishes the vulnerability classes detected, plus the
+// channel-write pseudo-sink used by the corpus-level cross-binary analysis.
 type SinkKind uint8
 
 // Sink kinds.
 const (
 	SinkOverflow SinkKind = iota
 	SinkCommand
+	// SinkChannelWrite is not a vulnerability: it marks tainted data
+	// reaching a cross-binary channel setter (nvram_set-style). The corpus
+	// fixpoint joins these writes to getter call sites in other binaries;
+	// single-binary reports never contain them.
+	SinkChannelWrite
 )
 
 func (k SinkKind) String() string {
-	if k == SinkCommand {
+	switch k {
+	case SinkCommand:
 		return "command-hijack"
+	case SinkChannelWrite:
+		return "channel-write"
 	}
 	return "buffer-overflow"
 }
@@ -99,6 +108,74 @@ var Sinks = map[string]SinkSpec{
 func IsSink(name string) bool {
 	_, ok := Sinks[name]
 	return ok
+}
+
+// ChanKind classifies the cross-binary communication channels firmware
+// binaries share state through: the nvram-like configuration store, the
+// process environment, and spawned-helper argument vectors (the three
+// channel families SaTC/SinkTaint track across binaries).
+type ChanKind uint8
+
+// Channel kinds.
+const (
+	ChanNVRAM ChanKind = iota
+	ChanEnv
+	ChanSpawn
+)
+
+func (k ChanKind) String() string {
+	switch k {
+	case ChanEnv:
+		return "env"
+	case ChanSpawn:
+		return "spawn"
+	}
+	return "nvram"
+}
+
+// ChannelSpec describes one accessor of a cross-binary channel.
+type ChannelSpec struct {
+	Chan  ChanKind
+	Arity int
+	// KeyParam is the parameter index carrying the channel key string. A
+	// negative index means the accessor is keyless and the key is implicit:
+	// a spawned helper's argv getter is keyed by the helper's own
+	// filesystem path.
+	KeyParam int
+	// ValParam (setters only) is the parameter index carrying the written
+	// value.
+	ValParam int
+	// TaintsReturn (getters only): the fetched channel data leaves via the
+	// return register.
+	TaintsReturn bool
+}
+
+// ChannelSetters are the library functions that publish data onto a
+// cross-binary channel. Tainted values reaching their ValParam become
+// visible to every binary reading the same channel key.
+var ChannelSetters = map[string]ChannelSpec{
+	"nvram_set": {Chan: ChanNVRAM, Arity: 2, KeyParam: 0, ValParam: 1},
+	"env_set":   {Chan: ChanEnv, Arity: 2, KeyParam: 0, ValParam: 1},
+	// fw_spawn(path, arg) hands arg to the helper binary at path; the
+	// helper path is the channel key.
+	"fw_spawn": {Chan: ChanSpawn, Arity: 2, KeyParam: 0, ValParam: 1},
+}
+
+// ChannelGetters are the library functions that read data off a
+// cross-binary channel; their return value carries whatever the writing
+// binary stored under the key.
+var ChannelGetters = map[string]ChannelSpec{
+	"nvram_get": {Chan: ChanNVRAM, Arity: 1, KeyParam: 0, TaintsReturn: true},
+	"env_get":   {Chan: ChanEnv, Arity: 1, KeyParam: 0, TaintsReturn: true},
+	"fw_getarg": {Chan: ChanSpawn, Arity: 1, KeyParam: -1, TaintsReturn: true},
+}
+
+// IsChannelAccessor reports whether name reads or writes a cross-binary
+// channel.
+func IsChannelAccessor(name string) bool {
+	_, s := ChannelSetters[name]
+	_, g := ChannelGetters[name]
+	return s || g
 }
 
 // NetworkImports are the interface functions whose presence marks a binary

@@ -113,6 +113,11 @@ type Options struct {
 	// SkipResolver disables UCSE indirect-call resolution (faster, less
 	// complete call graphs).
 	SkipResolver bool
+	// AllExecutables selects every executable-location binary as a target
+	// instead of only those importing network interfaces. Corpus-wide
+	// cross-binary analysis needs this: back-end readers (nvram consumers,
+	// spawned helpers) typically have no network imports at all.
+	AllExecutables bool
 	// KeepUnstripped retains debug symbols if present (test corpora).
 	KeepUnstripped bool
 	// Parallelism bounds the goroutines building binary models;
@@ -268,7 +273,7 @@ func (res *Result) load(ctx context.Context, opts Options) error {
 	// Select the network targets, in deterministic path order.
 	var targetPaths []string
 	for p, b := range bins {
-		if isExecutablePath(p) && importsNetwork(b) {
+		if isExecutablePath(p) && (opts.AllExecutables || importsNetwork(b)) {
 			targetPaths = append(targetPaths, p)
 		}
 	}

@@ -101,6 +101,10 @@ type Spec struct {
 	Timeout Duration `json:"timeout,omitempty"`
 	// NoCache opts this request out of the shared model cache.
 	NoCache bool `json:"no_cache,omitempty"`
+	// XMode selects the seeding mode of a corpus scan (fits xscan, POST
+	// /v1/corpora): "cts", "its" or "cross" (default). Ignored by plain
+	// analysis and diff requests.
+	XMode string `json:"xmode,omitempty"`
 }
 
 // Normalize validates the spec in place and fills defaults. It is
@@ -133,6 +137,11 @@ func (s *Spec) Normalize() error {
 	if s.StringFilter == nil {
 		t := true
 		s.StringFilter = &t
+	}
+	switch s.XMode {
+	case "", "cts", "its", "cross":
+	default:
+		return fmt.Errorf(`optbuild: unknown xmode %q (want "cts", "its" or "cross")`, s.XMode)
 	}
 	return nil
 }
@@ -200,6 +209,25 @@ func (s *Spec) DiffOptions(cache *fits.Cache) (fits.DiffOptions, error) {
 		Engine:       engine,
 		StringFilter: *s.StringFilter,
 	}, nil
+}
+
+// XScanOptions translates the spec into corpus-scan options. The caller
+// wires Scheduler, Stages and Progress itself — those are execution
+// environment, not request options.
+func (s *Spec) XScanOptions(cache *fits.Cache) (fits.XScanOptions, error) {
+	if err := s.Normalize(); err != nil {
+		return fits.XScanOptions{}, err
+	}
+	opts := fits.XScanOptions{
+		Mode:         s.XMode,
+		TopK:         s.TopK,
+		StringFilter: *s.StringFilter,
+		Parallelism:  s.Parallelism,
+	}
+	if !s.NoCache {
+		opts.Cache = cache
+	}
+	return opts, nil
 }
 
 // ScanOptions translates the spec into scan options for one analyzed

@@ -7,6 +7,7 @@ import (
 
 	"fits"
 	"fits/internal/evolve"
+	"fits/internal/firmware"
 	"fits/internal/optbuild"
 )
 
@@ -51,9 +52,12 @@ const (
 	ReasonPanic = "panic"
 )
 
-// KindDiff marks a job submitted via POST /v1/diffs. Plain analysis jobs
-// have an empty kind.
-const KindDiff = "diff"
+// KindDiff marks a job submitted via POST /v1/diffs; KindCorpus one
+// submitted via POST /v1/corpora. Plain analysis jobs have an empty kind.
+const (
+	KindDiff   = "diff"
+	KindCorpus = "corpus"
+)
 
 // SubmitRequest is the JSON body of POST /v1/jobs. Exactly one of Firmware
 // (base64 image bytes) and Path (a file readable by the server process)
@@ -74,6 +78,17 @@ type DiffSubmitRequest struct {
 	OldPath     string        `json:"old_path,omitempty"`
 	NewPath     string        `json:"new_path,omitempty"`
 	Options     optbuild.Spec `json:"options"`
+}
+
+// CorpusSubmitRequest is the JSON body of POST /v1/corpora. Exactly one of
+// Corpus (the base64 bytes of a fits.PackCorpus container) and Path (a
+// packed corpus file readable by the server process) must be set. A raw
+// application/octet-stream body is the shorthand for {"corpus": <body>}
+// with default options. The result is the CorpusReport JSON of fits.XScan.
+type CorpusSubmitRequest struct {
+	Corpus  []byte        `json:"corpus,omitempty"`
+	Path    string        `json:"path,omitempty"`
+	Options optbuild.Spec `json:"options"`
 }
 
 // SubmitResponse is the 202 body of POST /v1/jobs.
@@ -111,6 +126,9 @@ type JobStatus struct {
 	// ordinary errors and non-failed states.
 	Reason string      `json:"reason,omitempty"`
 	Cache  *CacheDelta `json:"cache,omitempty"`
+	// Progress is the most recent coarse progress line of a running corpus
+	// job ("round 2: 5 binaries, 3 tainted endpoints"); empty otherwise.
+	Progress string `json:"progress,omitempty"`
 	// Result is the analysis result JSON, present once State is "done"
 	// (also served raw by GET /v1/jobs/{id}/result).
 	Result json.RawMessage `json:"result,omitempty"`
@@ -231,12 +249,22 @@ type RunOutput struct {
 	// Diff carries the reuse ratio and stage timings of a diff job, for
 	// metrics only — never part of ResultJSON, which must stay byte-stable.
 	Diff *DiffStats
+	// Corpus carries a corpus job's headline numbers, for metrics only.
+	Corpus *CorpusStats
 }
 
 // DiffStats is the diagnostic slice of a finished diff job.
 type DiffStats struct {
 	ReuseRatio float64
 	Timings    fits.DiffStageTimings
+}
+
+// CorpusStats is the diagnostic slice of a finished corpus job, feeding the
+// fitsd_corpus_* metrics.
+type CorpusStats struct {
+	Binaries    int
+	Rounds      int
+	CrossAlerts int
 }
 
 // RunEnv is the server-provided execution environment of one job: the
@@ -248,6 +276,9 @@ type RunEnv struct {
 	Cache  *fits.Cache
 	Sched  *fits.Scheduler
 	Stages *fits.StageTimer
+	// Progress receives coarse progress lines from long-running jobs; the
+	// server surfaces the latest one in the job's status. May be nil.
+	Progress func(string)
 }
 
 // Runner executes one job. The default is DefaultRunner; tests substitute
@@ -378,6 +409,48 @@ func DefaultDiffRunner(ctx context.Context, oldRaw, newRaw []byte, spec optbuild
 			Reused: d.Old.Cache.Reused + d.New.Cache.Reused,
 		},
 		Diff: &DiffStats{ReuseRatio: r.ReuseRatio, Timings: d.Timings},
+	}, nil
+}
+
+// CorpusRunner executes one corpus job: raw is a packed corpus container
+// (fits.PackCorpus bytes). The default is DefaultCorpusRunner.
+type CorpusRunner func(ctx context.Context, raw []byte, spec optbuild.Spec, env RunEnv) (*RunOutput, error)
+
+// DefaultCorpusRunner unpacks the corpus container and runs the
+// cross-binary taint fixpoint over the file set. The result JSON is the
+// CorpusReport verbatim — byte-stable across worker counts and cache
+// temperature, so resubmitting an identical corpus yields identical bytes.
+func DefaultCorpusRunner(ctx context.Context, raw []byte, spec optbuild.Spec, env RunEnv) (*RunOutput, error) {
+	xopts, err := spec.XScanOptions(env.Cache)
+	if err != nil {
+		return nil, err
+	}
+	xopts.Scheduler = env.Sched
+	xopts.Stages = env.Stages
+	xopts.Progress = env.Progress
+	img, err := firmware.Unpack(raw)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]fits.CorpusFile, len(img.Files))
+	for i, f := range img.Files {
+		files[i] = fits.CorpusFile{Path: f.Path, Data: f.Data}
+	}
+	rep, err := fits.XScanContext(ctx, files, xopts)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return &RunOutput{
+		ResultJSON: b,
+		Corpus: &CorpusStats{
+			Binaries:    len(rep.Binaries),
+			Rounds:      rep.Rounds,
+			CrossAlerts: rep.CrossHit,
+		},
 	}, nil
 }
 

@@ -41,6 +41,7 @@ type Job struct {
 	reason    string    // failure classification (ReasonCorrupt, ReasonPanic); guarded by mu
 	result    []byte    // guarded by mu
 	cache     CacheDelta // guarded by mu
+	progress  string     // latest runner progress line, cleared when terminal; guarded by mu
 	// cancelRequested distinguishes a DELETE-initiated abort from a
 	// timeout or server drain when classifying the runner's error.
 	cancelRequested bool               // guarded by mu
@@ -94,6 +95,7 @@ func (j *Job) finish(out *RunOutput, err error, now time.Time, durable func(stat
 	}
 	j.raw = nil
 	j.raw2 = nil
+	j.progress = ""
 	j.finished = now
 	var pe *panicError
 	switch {
@@ -154,6 +156,17 @@ func (j *Job) requestCancel(now time.Time) (terminalNow, ok bool) {
 	return false, false
 }
 
+// setProgress records the latest progress line from the job's runner; the
+// next status snapshot reports it. No-op once the job is terminal (a slow
+// runner goroutine may still emit after cancellation).
+func (j *Job) setProgress(msg string) {
+	j.mu.Lock()
+	if j.state == StateRunning {
+		j.progress = msg
+	}
+	j.mu.Unlock()
+}
+
 // markDrained tags a running job as aborted by server drain before its
 // context is hard-canceled, so finish classifies it as canceled rather
 // than failed.
@@ -190,6 +203,7 @@ func (j *Job) Snapshot(includeResult bool) JobStatus {
 	}
 	s.Error = j.err
 	s.Reason = j.reason
+	s.Progress = j.progress
 	if j.state == StateDone {
 		d := j.cache
 		s.Cache = &d

@@ -42,9 +42,11 @@ func jobKey(kind string, spec optbuild.Spec, sums ...modelcache.Hash) string {
 		// fallback that still yields a usable (if conservative) key.
 		specJSON = []byte("unmarshalable")
 	}
+	// Kind-prefix the key so a packed corpus and a plain image with equal
+	// bytes and options never share a disk entry.
 	k := "job"
-	if kind == KindDiff {
-		k = "diff"
+	if kind != "" {
+		k = kind
 	}
 	return modelcache.Key(k, string(specJSON), sums...)
 }

@@ -86,6 +86,9 @@ type Config struct {
 	// DiffRunner replaces the evolution-diff pipeline behind POST /v1/diffs
 	// (default DefaultDiffRunner).
 	DiffRunner DiffRunner
+	// CorpusRunner replaces the cross-binary corpus pipeline behind
+	// POST /v1/corpora (default DefaultCorpusRunner).
+	CorpusRunner CorpusRunner
 	// DataDir enables the durability layer: a content-addressed on-disk
 	// result store and a write-ahead journal for the job queue, rooted at
 	// this directory. Empty disables persistence (the pre-existing,
@@ -119,6 +122,9 @@ func (c *Config) fill() {
 	}
 	if c.DiffRunner == nil {
 		c.DiffRunner = DefaultDiffRunner
+	}
+	if c.CorpusRunner == nil {
+		c.CorpusRunner = DefaultCorpusRunner
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -163,6 +169,11 @@ type Server struct {
 	mPersistErrors *Counter
 	gRunning       *Gauge
 	hDuration      *Histogram
+
+	mCorpusJobs     *Counter
+	mCorpusBinaries *Counter
+	mCorpusCross    *Counter
+	hCorpusRounds   *Histogram
 
 	// diffReuse holds the float64 bits of the last completed diff's
 	// function-reuse ratio, exported as fits_diff_reuse_ratio.
@@ -217,6 +228,11 @@ func New(cfg Config) (*Server, error) {
 		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60)
 	s.reg.GaugeFunc("fits_diff_reuse_ratio", "Function-reuse ratio of the most recently completed diff job.",
 		func() float64 { return math.Float64frombits(s.diffReuse.Load()) })
+	s.mCorpusJobs = s.reg.Counter("fitsd_corpus_jobs_total", "Corpus scan jobs that completed successfully.")
+	s.mCorpusBinaries = s.reg.Counter("fitsd_corpus_binaries_total", "Executable binaries analyzed across completed corpus jobs.")
+	s.mCorpusCross = s.reg.Counter("fitsd_corpus_cross_alerts_total", "Cross-binary alerts reported by completed corpus jobs.")
+	s.hCorpusRounds = s.reg.Histogram("fitsd_corpus_rounds", "Fixpoint rounds per completed corpus job.",
+		1, 2, 3, 4, 5, 6, 7, 8)
 	// One analysis scheduler for the whole process, sized to GOMAXPROCS: the
 	// per-job worker count then bounds job concurrency while this bounds the
 	// total analysis goroutines those jobs fan out between them.
@@ -305,6 +321,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/diffs", s.handleSubmitDiff)
+	s.mux.HandleFunc("POST /v1/corpora", s.handleSubmitCorpus)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -358,7 +375,7 @@ func (s *Server) runJob(j *Job) {
 	s.running.Store(j.id, j)
 	s.gRunning.Add(1)
 	s.cfg.Logf("job %s: running (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
-	env := RunEnv{Cache: s.cfg.Cache, Sched: s.sched, Stages: new(fits.StageTimer)}
+	env := RunEnv{Cache: s.cfg.Cache, Sched: s.sched, Stages: new(fits.StageTimer), Progress: j.setProgress}
 	out, err := s.invokeRunner(ctx, j, raw, raw2, env)
 	// Persist the result, then journal the terminal record, both before
 	// the job's new state is observable (the callback runs under the job
@@ -386,6 +403,9 @@ func (s *Server) runJob(j *Job) {
 		s.mCompleted.Inc()
 		if out != nil && out.Diff != nil {
 			s.observeDiff(out.Diff)
+		}
+		if out != nil && out.Corpus != nil {
+			s.observeCorpus(out.Corpus)
 		}
 	case StateCanceled:
 		s.mCanceled.Inc()
@@ -422,8 +442,11 @@ func (s *Server) invokeRunner(ctx context.Context, j *Job, raw, raw2 []byte, env
 			s.cfg.Logf("job %s: panic isolated: %v", j.id, r)
 		}
 	}()
-	if j.kind == KindDiff {
+	switch j.kind {
+	case KindDiff:
 		return s.cfg.DiffRunner(ctx, raw, raw2, j.spec, env)
+	case KindCorpus:
+		return s.cfg.CorpusRunner(ctx, raw, j.spec, env)
 	}
 	return s.cfg.Runner(ctx, raw, j.spec, env)
 }
@@ -436,6 +459,15 @@ func (s *Server) observeDiff(d *DiffStats) {
 	s.hDiffStage["analyze_new"].Observe(d.Timings.AnalyzeNew.Seconds())
 	s.hDiffStage["scan_new"].Observe(d.Timings.ScanNew.Seconds())
 	s.hDiffStage["align"].Observe(d.Timings.Align.Seconds())
+}
+
+// observeCorpus folds one completed corpus scan's diagnostics into the
+// metrics.
+func (s *Server) observeCorpus(c *CorpusStats) {
+	s.mCorpusJobs.Inc()
+	s.mCorpusBinaries.Add(uint64(c.Binaries))
+	s.mCorpusCross.Add(uint64(c.CrossAlerts))
+	s.hCorpusRounds.Observe(float64(c.Rounds))
 }
 
 // janitor periodically sweeps expired results so memory is reclaimed even
@@ -639,6 +671,98 @@ func (s *Server) handleSubmitDiff(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.accept(w, j, oldRaw, newRaw)
+}
+
+// handleSubmitCorpus accepts a cross-binary corpus job: a packed firmware
+// tree (fits.PackCorpus bytes), scanned as one system by the channel-taint
+// fixpoint. It shares the queue, store, backpressure and durability of
+// plain jobs.
+func (s *Server) handleSubmitCorpus(w http.ResponseWriter, r *http.Request) {
+	s.qmu.Lock()
+	draining := s.draining
+	s.qmu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	raw, spec, err := s.readCorpusSubmission(r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("corpus exceeds the %d byte upload limit", mbe.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sum := sha256.Sum256(raw)
+	seq := s.seq.Add(1)
+	j := &Job{
+		id:        fmt.Sprintf("j%06d", seq),
+		seq:       seq,
+		sha:       hex.EncodeToString(sum[:]),
+		size:      len(raw),
+		kind:      KindCorpus,
+		spec:      spec,
+		state:     StateQueued,
+		raw:       raw,
+		submitted: s.now(),
+	}
+	if s.persist != nil {
+		j.diskKey = jobKey(j.kind, spec, modelcache.Hash(sum))
+		if payload := s.diskLookup(j.diskKey); payload != nil {
+			s.completeFromDisk(w, j, payload, j.sha, "")
+			return
+		}
+	}
+	s.accept(w, j, raw, nil)
+}
+
+// readCorpusSubmission decodes the packed corpus bytes and options from
+// either a JSON envelope or a raw octet-stream body.
+func (s *Server) readCorpusSubmission(r *http.Request) ([]byte, optbuild.Spec, error) {
+	var spec optbuild.Spec
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxUploadBytes)
+	defer body.Close()
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var req CorpusSubmitRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, spec, fmt.Errorf("invalid corpus request: %w", err)
+		}
+		spec = req.Options
+		switch {
+		case len(req.Corpus) > 0 && req.Path != "":
+			return nil, spec, errors.New(`set exactly one of "corpus" and "path"`)
+		case len(req.Corpus) > 0:
+			return req.Corpus, spec, nil
+		case req.Path != "":
+			raw, err := os.ReadFile(req.Path)
+			if err != nil {
+				return nil, spec, fmt.Errorf("reading corpus path: %v", err)
+			}
+			if int64(len(raw)) > s.cfg.MaxUploadBytes {
+				return nil, spec, fmt.Errorf("corpus at %s exceeds the %d byte limit", req.Path, s.cfg.MaxUploadBytes)
+			}
+			return raw, spec, nil
+		default:
+			return nil, spec, errors.New(`set one of "corpus" (base64 packed bytes) and "path"`)
+		}
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, spec, err
+	}
+	if len(raw) == 0 {
+		return nil, spec, errors.New("empty corpus body")
+	}
+	return raw, spec, nil
 }
 
 // accept stores, enqueues and journals a prepared job, writing the 202

@@ -30,6 +30,12 @@ const (
 	SysExecve
 	SysPopen
 	SysExit
+	SysNvramGet
+	SysNvramSet
+	SysEnvGet
+	SysEnvSet
+	SysSpawn
+	SysGetArg
 )
 
 // sysFuncs are the libc functions implemented as system primitives: the
@@ -60,6 +66,17 @@ var sysFuncs = []struct {
 	{"execve", 3, SysExecve},
 	{"popen", 2, SysPopen},
 	{"exit", 1, SysExit},
+	// Cross-binary channel accessors: the nvram-like configuration store,
+	// the process environment, and spawned-helper argv. Deliberately not
+	// getenv/setenv — getenv is already a classical taint source, and the
+	// corpus evaluation needs channels the single-binary engines are blind
+	// to.
+	{"nvram_get", 1, SysNvramGet},
+	{"nvram_set", 2, SysNvramSet},
+	{"env_get", 1, SysEnvGet},
+	{"env_set", 2, SysEnvSet},
+	{"fw_spawn", 2, SysSpawn},
+	{"fw_getarg", 1, SysGetArg},
 }
 
 // LibcProgram builds the shared C library of a firmware sample. Anchor

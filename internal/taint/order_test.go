@@ -17,6 +17,12 @@ func TestSortAlertsDeterministic(t *testing.T) {
 		{Site: 0x200, Func: 0x80, Sink: "memcpy", Kind: know.SinkOverflow, From: FromITS, Key: "a"},
 		{Site: 0x200, Func: 0x80, Sink: "memcpy", Kind: know.SinkOverflow, From: FromITS, Key: "b"},
 		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromCTSValue},
+		// The cross-binary hop endpoint (Via) breaks ties after Key: alerts
+		// for one site seeded through different channels keep one order.
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key"},
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "env:wl_key"},
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key"},
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key", Binary: "b"},
 		{Site: 0x200, Func: 0x90, Sink: "memcpy", Kind: know.SinkOverflow, From: FromCTSRegion},
 		{Site: 0x200, Func: 0x90, Sink: "memcpy", Kind: know.SinkOverflow, From: FromCTSRegion, Binary: "z"},
 	}

@@ -36,6 +36,10 @@ const (
 	FromCTSRegion SourceKind = iota
 	FromCTSValue
 	FromITS
+	// FromChannel marks taint seeded at a cross-binary channel getter call
+	// site (nvram_get-style) whose key another binary was seen writing
+	// tainted data to; only the corpus fixpoint produces these.
+	FromChannel
 )
 
 func (k SourceKind) String() string {
@@ -44,6 +48,8 @@ func (k SourceKind) String() string {
 		return "cts-region"
 	case FromCTSValue:
 		return "cts-value"
+	case FromChannel:
+		return "xchan"
 	default:
 		return "its"
 	}
@@ -60,8 +66,15 @@ type Alert struct {
 	Kind know.SinkKind
 	From SourceKind
 	// Key is the field-index string of the originating ITS call site, when
-	// recoverable; the string filter keys on it.
+	// recoverable; the string filter keys on it. For FromChannel alerts it
+	// is the channel key whose getter seeded the flow.
 	Key string
+	// Via is the cross-binary channel endpoint the flow passes through,
+	// rendered "<chan>:<key>" (e.g. "nvram:wl_key"). On a channel-write
+	// alert (Kind SinkChannelWrite) it names the endpoint being written;
+	// on a FromChannel sink alert it names the endpoint that seeded the
+	// flow. Empty for purely intra-binary flows.
+	Via string
 	// Filtered alerts matched the system-data string filter and are not
 	// reported.
 	Filtered bool
@@ -83,6 +96,20 @@ type Options struct {
 	StringFilter bool
 	// MaxDepth bounds interprocedural value-taint propagation.
 	MaxDepth int
+
+	// ChannelSetters, when non-nil, reports tainted values reaching these
+	// channel setter imports as SinkChannelWrite alerts (the raw material
+	// of the corpus fixpoint). Single-binary scans leave it nil.
+	ChannelSetters map[string]know.ChannelSpec
+	// ChannelSeeds seeds value taint at channel getter call sites: for
+	// each channel kind, the set of keys other binaries were seen writing
+	// tainted data to. Keyless getters (spawned-helper argv) match the
+	// SelfPath key.
+	ChannelSeeds map[know.ChanKind]map[string]bool
+	// SelfPath is the image path of the binary under analysis; it is the
+	// implicit key of keyless channel getters (a helper binary's argv is
+	// keyed by the helper's own path).
+	SelfPath string
 }
 
 // DefaultMaxDepth bounds value propagation; deep wrapper chains stay in
@@ -137,6 +164,9 @@ func (e *Engine) Run() []Alert {
 	if len(e.opts.ITS) > 0 || len(e.opts.ITSOut) > 0 {
 		e.runITS()
 	}
+	if len(e.opts.ChannelSeeds) > 0 {
+		e.runChannels()
+	}
 	var out []Alert
 	for _, a := range e.alerts {
 		if !a.Filtered {
@@ -158,10 +188,11 @@ func (e *Engine) AllAlerts() []Alert {
 }
 
 // SortAlerts orders alerts fully deterministically: by sink site, then
-// containing function, sink name, kind, source kind, key, and binary. Both
-// engines report in this order, so alert lists — and the service responses
-// built from them — are byte-stable across runs and worker counts even if
-// one site ever carries several alerts.
+// containing function, sink name, kind, source kind, key, cross-binary hop
+// endpoint (Via), and binary. Both engines report in this order, so alert
+// lists — and the service responses built from them — are byte-stable
+// across runs and worker counts even if one site ever carries several
+// alerts.
 func SortAlerts(out []Alert) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := &out[i], &out[j]
@@ -182,6 +213,9 @@ func SortAlerts(out []Alert) {
 		}
 		if a.Key != b.Key {
 			return a.Key < b.Key
+		}
+		if a.Via != b.Via {
+			return a.Via < b.Via
 		}
 		return a.Binary < b.Binary
 	})
@@ -338,6 +372,48 @@ func (e *Engine) runITS() {
 	// Sinks consuming pointers into tainted objects.
 	if len(e.taintedObjects) > 0 {
 		e.scanObjectSinks()
+	}
+}
+
+// runChannels seeds value taint at cross-binary channel getter call sites
+// whose key the corpus fixpoint marked tainted. A getter behaves like an
+// intermediate source whose data arrives from another binary: its return
+// value is tracked with full value-level precision, and the seeding
+// endpoint is recorded in Alert.Via so provenance chains can be stitched
+// together across binaries.
+func (e *Engine) runChannels() {
+	for _, f := range e.model.FuncsInOrder() {
+		for _, cs := range f.Calls {
+			spec, ok := know.ChannelGetters[cs.ImportName]
+			if !ok || !spec.TaintsReturn {
+				continue
+			}
+			keys := e.opts.ChannelSeeds[spec.Chan]
+			if len(keys) == 0 {
+				continue
+			}
+			caller, _ := e.model.FuncAt(cs.Caller)
+			if caller == nil {
+				continue
+			}
+			key := e.opts.SelfPath
+			if spec.KeyParam >= 0 {
+				c, ok := dataflow.BacktrackRegister(caller, cs.Addr, isa.Reg(spec.KeyParam))
+				if !ok {
+					continue
+				}
+				s, ok := dataflow.ClassifyStringConstant(e.bin, c)
+				if !ok {
+					continue
+				}
+				key = s
+			}
+			if !keys[key] {
+				continue
+			}
+			via := spec.Chan.String() + ":" + key
+			e.propagateChannel(caller, cs.Addr, key, via)
+		}
 	}
 }
 

@@ -6,6 +6,8 @@
 #   - the second run hit the shared model cache (visible in /metrics)
 #   - a diff round-trip (image against itself) completes, reports full
 #     function reuse, repeats byte-identically, and shows up in /metrics
+#   - a corpus round-trip (fwgen -multibin tree through fitsctl corpus)
+#     completes, repeats byte-identically, and counts in fitsd_corpus_*
 #   - /metrics is non-empty and counts the completions
 #   - SIGTERM drains the daemon cleanly within the deadline
 set -eu
@@ -78,10 +80,22 @@ cmp -s "$tmp/d1.json" "$tmp/d2.json" || fail "resubmitted diff produced differen
 grep -q '"reuse_ratio":1' "$tmp/d1.json" \
     || fail "self-diff did not reuse every function: $(cat "$tmp/d1.json")"
 
+echo "serve-smoke: corpus round trip over a generated multi-binary tree"
+"$tmp/bin/fwgen" -multibin "$tmp/xtree" >/dev/null
+ctl corpus -wait -out "$tmp/x1.json" "$tmp/xtree" || fail "first corpus submission"
+ctl corpus -wait -out "$tmp/x2.json" "$tmp/xtree" || fail "second corpus submission"
+[ -s "$tmp/x1.json" ] || fail "first corpus result is empty"
+cmp -s "$tmp/x1.json" "$tmp/x2.json" || fail "resubmitted corpus produced different result JSON"
+grep -q '"cross_alerts":' "$tmp/x1.json" || fail "corpus result has no cross_alerts field"
+
 metrics=$(ctl metrics)
 [ -n "$metrics" ] || fail "/metrics is empty"
-echo "$metrics" | grep -q '^fitsd_jobs_completed_total 4$' \
-    || fail "expected fitsd_jobs_completed_total 4, got: $(echo "$metrics" | grep jobs_completed)"
+echo "$metrics" | grep -q '^fitsd_jobs_completed_total 6$' \
+    || fail "expected fitsd_jobs_completed_total 6, got: $(echo "$metrics" | grep jobs_completed)"
+echo "$metrics" | grep -q '^fitsd_corpus_jobs_total 2$' \
+    || fail "expected fitsd_corpus_jobs_total 2, got: $(echo "$metrics" | grep corpus_jobs)"
+echo "$metrics" | grep -q '^fitsd_corpus_binaries_total [1-9]' \
+    || fail "corpus jobs analyzed no binaries: $(echo "$metrics" | grep corpus_binaries)"
 echo "$metrics" | grep -q '^fitsd_model_cache_hits_total [1-9]' \
     || fail "second submission recorded no model-cache hits"
 echo "$metrics" | grep -q '^fits_diff_reuse_ratio 1$' \
@@ -156,4 +170,4 @@ done
 wait "$pid" 2>/dev/null || fail "persistent fitsd exited non-zero after SIGTERM"
 pid=""
 
-echo "serve-smoke: OK (identical results, cache hits, diff round-trip, clean drain, crash recovery)"
+echo "serve-smoke: OK (identical results, cache hits, diff and corpus round-trips, clean drain, crash recovery)"

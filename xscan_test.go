@@ -1,0 +1,112 @@
+package fits
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"fits/internal/firmware"
+	"fits/internal/synth"
+)
+
+func xcorpusFiles(t testing.TB) []CorpusFile {
+	t.Helper()
+	x, err := synth.GenerateXCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]CorpusFile, len(x.Files))
+	for i, f := range x.Files {
+		files[i] = CorpusFile{Path: f.Path, Data: f.Data}
+	}
+	return files
+}
+
+func xscanJSON(t *testing.T, files []CorpusFile, opts XScanOptions) []byte {
+	t.Helper()
+	rep, err := XScan(files, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestXScanDeterministicJSON pins the corpus report's serialized bytes
+// across worker counts and cache temperature — the property `fits xscan`
+// output inherits.
+func TestXScanDeterministicJSON(t *testing.T) {
+	files := xcorpusFiles(t)
+	base := xscanJSON(t, files, XScanOptions{Parallelism: 1})
+	for _, par := range []int{2, 4, 8} {
+		if got := xscanJSON(t, files, XScanOptions{Parallelism: par}); !bytes.Equal(base, got) {
+			t.Fatalf("parallelism %d output differs from 1", par)
+		}
+	}
+	cache := NewCache(0, 0)
+	cold := xscanJSON(t, files, XScanOptions{Parallelism: 4, Cache: cache})
+	warm := xscanJSON(t, files, XScanOptions{Parallelism: 4, Cache: cache})
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cold and warm cache outputs differ")
+	}
+	if !bytes.Equal(base, cold) {
+		t.Fatal("cached output differs from uncached")
+	}
+}
+
+// TestXScanSharedScheduler runs the corpus under an externally shared worker
+// budget, the way fitsd jobs do, and requires identical output.
+func TestXScanSharedScheduler(t *testing.T) {
+	files := xcorpusFiles(t)
+	base := xscanJSON(t, files, XScanOptions{Parallelism: 1})
+	sched := NewScheduler(3)
+	got := xscanJSON(t, files, XScanOptions{Parallelism: 4, Scheduler: sched})
+	if !bytes.Equal(base, got) {
+		t.Fatal("shared-scheduler output differs")
+	}
+}
+
+func TestXScanModeValidation(t *testing.T) {
+	if _, err := XScan(nil, XScanOptions{Mode: "bogus"}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestPackCorpusRoundTrip(t *testing.T) {
+	files := xcorpusFiles(t)
+	packed := PackCorpus(files)
+	img, err := firmware.Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Files) != len(files) {
+		t.Fatalf("round trip: %d files, want %d", len(img.Files), len(files))
+	}
+	for i, f := range img.Files {
+		if f.Path != files[i].Path || !bytes.Equal(f.Data, files[i].Data) {
+			t.Fatalf("file %s corrupted in transport", files[i].Path)
+		}
+	}
+	// The packed corpus feeds the same analysis server-side.
+	rep1, err := XScan(files, XScanOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromImg := make([]CorpusFile, len(img.Files))
+	for i, f := range img.Files {
+		fromImg[i] = CorpusFile{Path: f.Path, Data: f.Data}
+	}
+	rep2, err := XScanContext(context.Background(), fromImg, XScanOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(rep1)
+	b2, _ := json.Marshal(rep2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("packed-corpus analysis differs from direct analysis")
+	}
+}
