@@ -8,7 +8,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-smoke fuzz-smoke serve-smoke ci
+.PHONY: all build vet lint test race bench bench-smoke fuzz-smoke serve-smoke precision-smoke ci
 
 all: build
 
@@ -47,6 +47,13 @@ bench-smoke:
 	mv BENCH_new.json BENCH_pipeline.json
 	@cat BENCH_pipeline.json
 
+# Precision scoreboard: scores the alias + path-feasibility passes against
+# the baseline engine on planted ground truth across the three synth
+# families and fails unless the full configuration is strictly more precise
+# at no loss of recall (see eval.RunPrecision / eval.CheckPrecision).
+precision-smoke:
+	$(GO) run ./cmd/precision
+
 # End-to-end smoke of the fitsd service: boot the daemon, submit a
 # generated firmware image twice via fitsctl, assert identical results, a
 # model-cache hit in /metrics, and a clean SIGTERM drain.
@@ -61,4 +68,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDiskStore -fuzztime=$(FUZZTIME) ./internal/diskstore
 	$(GO) test -run='^$$' -fuzz=FuzzFrontend -fuzztime=$(FUZZTIME) ./internal/frontend
 
-ci: vet lint build test race fuzz-smoke bench-smoke serve-smoke
+ci: vet lint build test race fuzz-smoke precision-smoke bench-smoke serve-smoke

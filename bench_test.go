@@ -224,9 +224,11 @@ func BenchmarkCaseStudy_DeepFlow(b *testing.B) {
 // public API on one firmware image (unpack + model + infer), with the
 // per-stage breakdown reported as extra metrics: <stage>-ns/op and
 // <stage>-allocs/op for decode, lift, cfg, reachdef and infer (reachdef is
-// nested inside infer — spans, not a partition). Taint is measured by one
-// scan per target outside the timed loop, reported per scan, so the
-// headline ns/op stays comparable with pre-stage-metric baselines.
+// nested inside infer — spans, not a partition). Taint and the precision
+// passes nested inside it (alias, pathcheck — spans of one scan, not a
+// partition of it) are measured by one scan per target outside the timed
+// loop and reported per scan, so the headline ns/op stays comparable with
+// pre-stage-metric baselines.
 func BenchmarkPipeline_SingleFirmware(b *testing.B) {
 	samples := benchCorpus(b)
 	raw := samples[0].Packed
@@ -242,8 +244,11 @@ func BenchmarkPipeline_SingleFirmware(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	scanStages := map[stagetime.Stage]bool{
+		stagetime.Taint: true, stagetime.Alias: true, stagetime.PathCheck: true,
+	}
 	for _, st := range stagetime.Stages() {
-		if st == stagetime.Taint {
+		if scanStages[st] {
 			continue
 		}
 		b.ReportMetric(float64(stages.WallNanos(st))/float64(b.N), st.String()+"-ns/op")
@@ -259,6 +264,12 @@ func BenchmarkPipeline_SingleFirmware(b *testing.B) {
 	if scans > 0 {
 		b.ReportMetric(float64(stages.WallNanos(stagetime.Taint))/float64(scans), "taint-ns/scan")
 		b.ReportMetric(float64(stages.Allocs(stagetime.Taint))/float64(scans), "taint-allocs/scan")
+		// The precision passes run inside each scan, so for them one
+		// scan is the op these units are normalized over.
+		b.ReportMetric(float64(stages.WallNanos(stagetime.Alias))/float64(scans), "alias-ns/op")
+		b.ReportMetric(float64(stages.Allocs(stagetime.Alias))/float64(scans), "alias-allocs/op")
+		b.ReportMetric(float64(stages.WallNanos(stagetime.PathCheck))/float64(scans), "pathcheck-ns/op")
+		b.ReportMetric(float64(stages.Allocs(stagetime.PathCheck))/float64(scans), "pathcheck-allocs/op")
 	}
 }
 

@@ -18,6 +18,9 @@ type DiffOptions struct {
 	// versions.
 	Engine       Engine
 	StringFilter bool
+	// NoAlias / NoPathcheck disable the precision passes on both sides.
+	NoAlias     bool
+	NoPathcheck bool
 }
 
 // DefaultDiffOptions returns the paper's configuration with the static
@@ -138,6 +141,7 @@ func scanSide(ctx context.Context, res *Result, opts DiffOptions) ([][]Alert, []
 		}
 		got, err := tr.ScanContext(ctx, ScanOptions{
 			Engine: opts.Engine, ITS: its, StringFilter: opts.StringFilter,
+			NoAlias: opts.NoAlias, NoPathcheck: opts.NoPathcheck,
 		})
 		if err != nil {
 			return nil, nil, err

@@ -162,6 +162,9 @@ type TargetResult struct {
 	// stages carries the analysis's stage timer into Scan so taint-engine
 	// time lands in the same Timer as the inference stages; nil disables.
 	stages *StageTimer
+	// prec memoizes the precision passes' pure per-function results, so
+	// repeated Scan calls on one target don't recompute them.
+	prec *taint.PrecisionCache
 }
 
 // TopCandidates returns the k best-ranked candidates.
@@ -246,6 +249,7 @@ func AnalyzeContext(ctx context.Context, raw []byte, opts Options) (*Result, err
 			Path: t.Path, Binary: r.Binary, NumFuncs: r.NumFuncs,
 			target: t, cache: opts.Cache, hash: t.Hash, modelCfg: t.ModelConfig,
 			stages: opts.Stages,
+			prec:   new(taint.PrecisionCache),
 		}
 		for _, e := range r.Ranked {
 			tr.Candidates = append(tr.Candidates, Candidate{Entry: e.Entry, Score: e.Score})
@@ -319,6 +323,10 @@ type Alert struct {
 	Sink   string
 	Kind   string // "buffer-overflow" or "command-hijack"
 	Source string // "cts-region", "cts-value" or "its"
+	// Degraded marks alerts from functions where an analysis budget
+	// tripped (dataflow fixpoint or alias facts): precision around them
+	// fell back to the coarser passes.
+	Degraded bool
 }
 
 // ScanOptions configures a taint scan.
@@ -333,6 +341,10 @@ type ScanOptions struct {
 	// StringFilter drops alerts keyed on system-data fields (static
 	// engine only).
 	StringFilter bool
+	// NoAlias disables the bounded points-to pass; NoPathcheck disables
+	// the path-feasibility pass (both static-engine only, on by default).
+	NoAlias     bool
+	NoPathcheck bool
 }
 
 // Scan runs taint analysis over one analyzed target.
@@ -377,7 +389,8 @@ func (t *TargetResult) ScanContext(ctx context.Context, opts ScanOptions) ([]Ale
 // keys are sorted with their index lists kept in caller order.
 func scanSig(modelCfg string, opts ScanOptions) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "model=%s|engine=%d|sf=%t|its=", modelCfg, opts.Engine, opts.StringFilter)
+	fmt.Fprintf(&sb, "model=%s|engine=%d|sf=%t|noalias=%t|nopathcheck=%t|its=",
+		modelCfg, opts.Engine, opts.StringFilter, opts.NoAlias, opts.NoPathcheck)
 	its := append(make([]uint32, 0, len(opts.ITS)), opts.ITS...)
 	sort.Slice(its, func(i, j int) bool { return its[i] < its[j] })
 	for _, e := range its {
@@ -408,10 +421,26 @@ func (t *TargetResult) scan(ctx context.Context, opts ScanOptions) ([]Alert, err
 		})
 		raw = e.Run()
 	default:
-		e := taint.New(t.target.Bin, t.target.Model, taint.Options{
+		topts := taint.Options{
 			UseCTS: true, ITS: opts.ITS, ITSOut: opts.ITSOut,
 			StringFilter: opts.StringFilter,
-		})
+			NoAlias:      opts.NoAlias, NoPathcheck: opts.NoPathcheck,
+			Precision:    t.prec,
+		}
+		if t.stages != nil {
+			st := t.stages
+			topts.Clock = stagetime.Clock
+			topts.AllocCount = stagetime.AllocCount
+			topts.OnAlias = func(ns, allocs int64) {
+				st.Add(stagetime.Alias, ns)
+				st.AddAllocs(stagetime.Alias, allocs)
+			}
+			topts.OnPathcheck = func(ns, allocs int64) {
+				st.Add(stagetime.PathCheck, ns)
+				st.AddAllocs(stagetime.PathCheck, allocs)
+			}
+		}
+		e := taint.New(t.target.Bin, t.target.Model, topts)
 		raw = e.Run()
 	}
 	if err := ctx.Err(); err != nil {
@@ -422,6 +451,7 @@ func (t *TargetResult) scan(ctx context.Context, opts ScanOptions) ([]Alert, err
 		out = append(out, Alert{
 			Binary: a.Binary, Site: a.Site, Func: a.Func,
 			Sink: a.Sink, Kind: a.Kind.String(), Source: a.From.String(),
+			Degraded: a.Degraded,
 		})
 	}
 	return out, nil

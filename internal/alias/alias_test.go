@@ -1,0 +1,211 @@
+package alias
+
+import (
+	"testing"
+
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+	"fits/internal/isa"
+	"fits/internal/minic"
+	"fits/internal/ucse"
+)
+
+func buildModel(t *testing.T, p *minic.Program) (*binimg.Binary, *cfg.Model) {
+	t.Helper()
+	bin, err := minic.Link(p, isa.ArchARM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cfg.Build(bin, cfg.Options{Resolver: ucse.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, m
+}
+
+func funcByName(t *testing.T, bin *binimg.Binary, m *cfg.Model, name string) *cfg.Function {
+	t.Helper()
+	for _, s := range bin.Funcs {
+		if s.Name == name {
+			if f, ok := m.FuncAt(s.Addr); ok {
+				return f
+			}
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil
+}
+
+func TestLocOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Loc
+		want bool
+	}{
+		{Loc{Stack, 0x1000}, Loc{Stack, 0x1000}, true},
+		{Loc{Stack, 0x1000}, Loc{Stack, 0x1000 + Span - 1}, true},
+		{Loc{Stack, 0x1000 + Span - 1}, Loc{Stack, 0x1000}, true},
+		{Loc{Stack, 0x1000}, Loc{Stack, 0x1000 + Span}, false},
+		{Loc{Global, 0x2000}, Loc{Global, 0x2010}, true},
+		{Loc{Stack, 0x1000}, Loc{Global, 0x1000}, false},
+		{Loc{Heap, 0x100}, Loc{Heap, 0x100}, true},
+		{Loc{Heap, 0x100}, Loc{Heap, 0x104}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%+v.Overlaps(%+v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if back := c.b.Overlaps(c.a); back != c.a.Overlaps(c.b) {
+			t.Errorf("Overlaps(%+v, %+v) not symmetric", c.a, c.b)
+		}
+	}
+}
+
+// TestAnalyzeAliasedGlobalStoreLoad plants the pattern the pass exists for:
+// a store through a global table at a symbolic index and a load back from
+// the same expression must resolve to overlapping Global locations.
+func TestAnalyzeAliasedGlobalStoreLoad(t *testing.T) {
+	p := &minic.Program{
+		Name:    "t",
+		Globals: []*minic.Global{{Name: "g_tab", Size: 32}, {Name: "g_v", Size: 16}},
+		Funcs: []*minic.Func{
+			{Name: "handler", Body: []minic.Stmt{
+				minic.Let{Name: "idx", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g_v")}}},
+				minic.StoreStmt{Size: 4, Addr: minic.Add(minic.GlobalRef("g_tab"), minic.Var("idx")), Val: minic.Int(7)},
+				minic.Let{Name: "out", E: minic.LoadW(minic.Add(minic.GlobalRef("g_tab"), minic.Var("idx")))},
+				minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("out")}}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+	bin, m := buildModel(t, p)
+	f := Analyze(bin, funcByName(t, bin, m, "handler"))
+	if f.Truncated {
+		t.Fatal("tiny function must not trip the fact budget")
+	}
+	var stores, loads []Loc
+	for _, locs := range f.Stores {
+		stores = append(stores, locs...)
+	}
+	for _, locs := range f.Loads {
+		loads = append(loads, locs...)
+	}
+	if len(stores) == 0 || len(loads) == 0 {
+		t.Fatalf("stores=%v loads=%v, want one symbolic-residue fact each", stores, loads)
+	}
+	hit := false
+	for _, s := range stores {
+		if s.Kind != Global {
+			t.Errorf("store fact %+v, want kind Global", s)
+		}
+		for _, l := range loads {
+			if s.Overlaps(l) {
+				hit = true
+			}
+		}
+	}
+	if !hit {
+		t.Errorf("no store fact overlaps a load fact: stores=%v loads=%v", stores, loads)
+	}
+}
+
+// TestAnalyzeHeapAllocationSite checks that an allocator's return value
+// roots a Heap location keyed by the call site, shared by stores and loads
+// at different offsets into the object.
+func TestAnalyzeHeapAllocationSite(t *testing.T) {
+	p := &minic.Program{
+		Name: "t",
+		Funcs: []*minic.Func{
+			{Name: "h", Body: []minic.Stmt{
+				minic.Let{Name: "p", E: minic.Call{Name: "malloc", Args: []minic.Expr{minic.Int(64)}}},
+				minic.StoreStmt{Size: 4, Addr: minic.Add(minic.Var("p"), minic.Int(4)), Val: minic.Int(1)},
+				minic.Let{Name: "q", E: minic.LoadW(minic.Add(minic.Var("p"), minic.Int(8)))},
+				minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("q")}}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+	bin, m := buildModel(t, p)
+	f := Analyze(bin, funcByName(t, bin, m, "h"))
+	var store, load *Loc
+	for _, locs := range f.Stores {
+		for i := range locs {
+			if locs[i].Kind == Heap {
+				store = &locs[i]
+			}
+		}
+	}
+	for _, locs := range f.Loads {
+		for i := range locs {
+			if locs[i].Kind == Heap {
+				load = &locs[i]
+			}
+		}
+	}
+	if store == nil || load == nil {
+		t.Fatalf("heap facts missing: stores=%v loads=%v", f.Stores, f.Loads)
+	}
+	if !store.Overlaps(*load) {
+		t.Errorf("store %+v and load %+v of one allocation do not overlap", *store, *load)
+	}
+}
+
+// TestAnalyzeConcreteAddressesProduceNoFacts: fully concrete traffic is the
+// taint engine's own territory — the pass must stay out of it.
+func TestAnalyzeConcreteAddressesProduceNoFacts(t *testing.T) {
+	p := &minic.Program{
+		Name:    "t",
+		Globals: []*minic.Global{{Name: "g", Size: 8}},
+		Funcs: []*minic.Func{
+			{Name: "h", Body: []minic.Stmt{
+				minic.StoreStmt{Size: 4, Addr: minic.GlobalRef("g"), Val: minic.Int(7)},
+				minic.Let{Name: "v", E: minic.LoadW(minic.GlobalRef("g"))},
+				minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("v")}}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+	bin, m := buildModel(t, p)
+	f := Analyze(bin, funcByName(t, bin, m, "h"))
+	if len(f.Stores) != 0 {
+		t.Errorf("concrete global store produced facts: %v", f.Stores)
+	}
+	if f.Truncated {
+		t.Error("concrete-only function marked truncated")
+	}
+}
+
+// TestAnalyzeBudgetTruncates: a function dense in symbolic memory traffic
+// must come back Truncated with no facts at all, never a partial subset.
+func TestAnalyzeBudgetTruncates(t *testing.T) {
+	body := []minic.Stmt{
+		minic.Let{Name: "idx", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g_v")}}},
+	}
+	for i := 0; i < MaxFacts+1; i++ {
+		body = append(body, minic.StoreStmt{
+			Size: 4,
+			Addr: minic.Add(minic.GlobalRef("g_tab"), minic.Var("idx")),
+			Val:  minic.Int(int32(i)),
+		})
+	}
+	body = append(body, minic.Return{E: minic.Int(0)})
+	p := &minic.Program{
+		Name:    "t",
+		Globals: []*minic.Global{{Name: "g_tab", Size: 512}, {Name: "g_v", Size: 16}},
+		Funcs:   []*minic.Func{{Name: "dense", Body: body}},
+	}
+	bin, m := buildModel(t, p)
+	f := Analyze(bin, funcByName(t, bin, m, "dense"))
+	if !f.Truncated {
+		t.Fatal("fact budget did not trip")
+	}
+	if len(f.Stores) != 0 || len(f.Loads) != 0 {
+		t.Errorf("truncated result still carries facts: stores=%v loads=%v", f.Stores, f.Loads)
+	}
+}
+
+func TestAnalyzeNilFunction(t *testing.T) {
+	f := Analyze(nil, nil)
+	if f.Truncated || len(f.Loads) != 0 || len(f.Stores) != 0 {
+		t.Errorf("nil function result = %+v, want empty", f)
+	}
+}

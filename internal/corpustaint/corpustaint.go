@@ -90,6 +90,10 @@ type Options struct {
 	Scheduler *pool.Scheduler
 	// Stages accumulates per-stage costs; nil disables.
 	Stages *stagetime.Timer
+	// NoAlias disables the bounded points-to pass; NoPathcheck disables
+	// the path-feasibility pass (both on by default).
+	NoAlias     bool
+	NoPathcheck bool
 	// MaxRounds caps fixpoint rounds (0 selects DefaultMaxRounds).
 	MaxRounds int
 	// Progress, when non-nil, receives coarse progress lines (per phase and
@@ -180,6 +184,9 @@ type binState struct {
 	seeds []uint32
 	// alerts from the most recent scan round.
 	alerts []taint.Alert
+	// prec memoizes the precision passes' pure per-function results across
+	// fixpoint rounds, which re-scan the same binary under growing seeds.
+	prec *taint.PrecisionCache
 }
 
 // Run analyzes a corpus given as a flat file set (an unpacked firmware
@@ -254,7 +261,7 @@ func Run(ctx context.Context, files []firmware.File, opts Options) (*Report, err
 	states := make([]*binState, len(res.Targets))
 	seedJob := func(i int) error {
 		t := res.Targets[i]
-		st := &binState{target: t}
+		st := &binState{target: t, prec: new(taint.PrecisionCache)}
 		switch opts.Mode {
 		case ModeITS:
 			cfgn := infer.DefaultConfig()
@@ -432,10 +439,26 @@ func scanBinary(st *binState, opts Options, tainted map[know.ChanKind]map[string
 		ITS:          st.seeds,
 		StringFilter: opts.StringFilter,
 		SelfPath:     t.Path,
+		NoAlias:      opts.NoAlias,
+		NoPathcheck:  opts.NoPathcheck,
+		Precision:    st.prec,
 	}
 	if opts.Mode == ModeCross {
 		topts.ChannelSetters = know.ChannelSetters
 		topts.ChannelSeeds = tainted
+	}
+	if opts.Stages != nil {
+		st := opts.Stages
+		topts.Clock = stagetime.Clock
+		topts.AllocCount = stagetime.AllocCount
+		topts.OnAlias = func(ns, allocs int64) {
+			st.Add(stagetime.Alias, ns)
+			st.AddAllocs(stagetime.Alias, allocs)
+		}
+		topts.OnPathcheck = func(ns, allocs int64) {
+			st.Add(stagetime.PathCheck, ns)
+			st.AddAllocs(stagetime.PathCheck, allocs)
+		}
 	}
 	run := func() []taint.Alert {
 		return taint.New(t.Bin, t.Model, topts).Run()
@@ -461,8 +484,8 @@ func scanBinary(st *binState, opts Options, tainted map[know.ChanKind]map[string
 // channel seed set.
 func xscanSig(t *loader.Target, topts taint.Options, opts Options) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "model=%s|mode=%s|sf=%t|self=%s|its=",
-		t.ModelConfig, opts.Mode, topts.StringFilter, topts.SelfPath)
+	fmt.Fprintf(&sb, "model=%s|mode=%s|sf=%t|noalias=%t|nopathcheck=%t|self=%s|its=",
+		t.ModelConfig, opts.Mode, topts.StringFilter, topts.NoAlias, topts.NoPathcheck, topts.SelfPath)
 	for _, e := range topts.ITS {
 		fmt.Fprintf(&sb, "%x,", e)
 	}

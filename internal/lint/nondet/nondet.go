@@ -25,17 +25,31 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // purePackages are the import paths under the determinism contract.
+// TestPureListCoversTaintImports keeps this in sync with the analysis
+// packages internal/taint pulls in: a new pure dependency must be added
+// here or the determinism lint silently stops covering it.
 var purePackages = map[string]bool{
-	"fits/internal/cfg":      true,
-	"fits/internal/dataflow": true,
-	"fits/internal/ir":       true,
-	"fits/internal/bfv":      true,
-	"fits/internal/infer":    true,
-	"fits/internal/cluster":  true,
-	"fits/internal/score":    true,
-	"fits/internal/taint":    true,
-	"fits/internal/karonte":  true,
-	"fits/internal/ucse":     true,
+	"fits/internal/cfg":       true,
+	"fits/internal/dataflow":  true,
+	"fits/internal/ir":        true,
+	"fits/internal/bfv":       true,
+	"fits/internal/infer":     true,
+	"fits/internal/cluster":   true,
+	"fits/internal/score":     true,
+	"fits/internal/taint":     true,
+	"fits/internal/karonte":   true,
+	"fits/internal/ucse":      true,
+	"fits/internal/alias":     true,
+	"fits/internal/pathcheck": true,
+}
+
+// PurePackages exposes the contract list for the sync self-test.
+func PurePackages() map[string]bool {
+	out := make(map[string]bool, len(purePackages))
+	for k, v := range purePackages {
+		out[k] = v
+	}
+	return out
 }
 
 // banned maps import path -> function names that taint determinism. An

@@ -99,6 +99,11 @@ type Spec struct {
 	// Timeout aborts the analysis after this long (0 = no per-request
 	// limit; fitsd additionally enforces its server-wide job timeout).
 	Timeout Duration `json:"timeout,omitempty"`
+	// NoAlias disables the bounded points-to pass of the static scan;
+	// NoPathcheck disables the path-feasibility post-pass. Both precision
+	// passes are on by default.
+	NoAlias     bool `json:"no_alias,omitempty"`
+	NoPathcheck bool `json:"no_pathcheck,omitempty"`
 	// NoCache opts this request out of the shared model cache.
 	NoCache bool `json:"no_cache,omitempty"`
 	// XMode selects the seeding mode of a corpus scan (fits xscan, POST
@@ -208,6 +213,8 @@ func (s *Spec) DiffOptions(cache *fits.Cache) (fits.DiffOptions, error) {
 		TopK:         s.TopK,
 		Engine:       engine,
 		StringFilter: *s.StringFilter,
+		NoAlias:      s.NoAlias,
+		NoPathcheck:  s.NoPathcheck,
 	}, nil
 }
 
@@ -222,6 +229,8 @@ func (s *Spec) XScanOptions(cache *fits.Cache) (fits.XScanOptions, error) {
 		Mode:         s.XMode,
 		TopK:         s.TopK,
 		StringFilter: *s.StringFilter,
+		NoAlias:      s.NoAlias,
+		NoPathcheck:  s.NoPathcheck,
 		Parallelism:  s.Parallelism,
 	}
 	if !s.NoCache {
@@ -240,7 +249,10 @@ func (s *Spec) ScanOptions(t *fits.TargetResult) (fits.ScanOptions, error) {
 	if err != nil {
 		return fits.ScanOptions{}, err
 	}
-	opts := fits.ScanOptions{Engine: engine, StringFilter: *s.StringFilter}
+	opts := fits.ScanOptions{
+		Engine: engine, StringFilter: *s.StringFilter,
+		NoAlias: s.NoAlias, NoPathcheck: s.NoPathcheck,
+	}
 	if s.SeedITS && t != nil {
 		for _, c := range t.TopCandidates(s.TopK) {
 			opts.ITS = append(opts.ITS, c.Entry)
@@ -273,6 +285,8 @@ func (s *Spec) BindScanFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&s.SeedITS, "its", false, "infer intermediate taint sources and seed the top -top")
 	s.StringFilter = new(bool)
 	fs.BoolVar(s.StringFilter, "filter", true, "filter alerts keyed on system-data fields")
+	fs.BoolVar(&s.NoAlias, "no-alias", false, "disable the bounded points-to precision pass")
+	fs.BoolVar(&s.NoPathcheck, "no-pathcheck", false, "disable the path-feasibility precision pass")
 }
 
 // CacheConfig is the flags → fits.Cache mapping shared by the CLIs and

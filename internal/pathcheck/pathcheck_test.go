@@ -1,0 +1,150 @@
+package pathcheck
+
+import (
+	"strings"
+	"testing"
+
+	"fits/internal/binimg"
+	"fits/internal/cfg"
+	"fits/internal/isa"
+	"fits/internal/minic"
+	"fits/internal/ucse"
+)
+
+func buildModel(t *testing.T, p *minic.Program) (*binimg.Binary, *cfg.Model) {
+	t.Helper()
+	bin, err := minic.Link(p, isa.ArchARM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cfg.Build(bin, cfg.Options{Resolver: ucse.Resolver()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, m
+}
+
+func funcByName(t *testing.T, bin *binimg.Binary, m *cfg.Model, name string) *cfg.Function {
+	t.Helper()
+	for _, s := range bin.Funcs {
+		if s.Name == name {
+			if f, ok := m.FuncAt(s.Addr); ok {
+				return f
+			}
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil
+}
+
+// sinkSite finds the call site of the named import inside fn.
+func sinkSite(t *testing.T, fn *cfg.Function, name string) uint32 {
+	t.Helper()
+	for _, cs := range fn.Calls {
+		if cs.ImportName == name {
+			return cs.Addr
+		}
+	}
+	t.Fatalf("no %s call in %s", name, fn.Name)
+	return 0
+}
+
+// guarded builds: v = strlen(g); if (v < hi) { if (v >= lo) { system(v) } }.
+// With lo > hi-1 the sink's path condition is an empty interval.
+func guarded(hi, lo int32) *minic.Program {
+	return &minic.Program{
+		Name:    "t",
+		Globals: []*minic.Global{{Name: "g", Size: 16}},
+		Funcs: []*minic.Func{
+			{Name: "h", Body: []minic.Stmt{
+				minic.Let{Name: "v", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g")}}},
+				minic.If{Cond: minic.Cond{Op: minic.Lt, L: minic.Var("v"), R: minic.Int(hi)}, Then: []minic.Stmt{
+					minic.If{Cond: minic.Cond{Op: minic.Ge, L: minic.Var("v"), R: minic.Int(lo)}, Then: []minic.Stmt{
+						minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("v")}}},
+					}},
+				}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+}
+
+func TestRefutesContradictoryInterval(t *testing.T) {
+	bin, m := buildModel(t, guarded(4, 100)) // v < 4 && v >= 100
+	fn := funcByName(t, bin, m, "h")
+	r := Check(bin, fn, sinkSite(t, fn, "system"))
+	if !r.Infeasible {
+		t.Fatal("contradictory guards not refuted")
+	}
+	if !strings.Contains(r.Refuted, "contradicts") {
+		t.Errorf("refutation %q does not name the contradicting pair", r.Refuted)
+	}
+}
+
+func TestKeepsFeasibleInterval(t *testing.T) {
+	bin, m := buildModel(t, guarded(4, 1)) // v in [1,3]: satisfiable
+	fn := funcByName(t, bin, m, "h")
+	if r := Check(bin, fn, sinkSite(t, fn, "system")); r.Infeasible {
+		t.Fatalf("feasible guards refuted: %q", r.Refuted)
+	}
+}
+
+// TestRefutesEqualityDisequality covers the solver's notEq channel:
+// v == 0 pinned, then v != 0 required.
+func TestRefutesEqualityDisequality(t *testing.T) {
+	p := &minic.Program{
+		Name:    "t",
+		Globals: []*minic.Global{{Name: "g", Size: 16}},
+		Funcs: []*minic.Func{
+			{Name: "h", Body: []minic.Stmt{
+				minic.Let{Name: "v", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g")}}},
+				minic.If{Cond: minic.Cond{Op: minic.Eq, L: minic.Var("v"), R: minic.Int(0)}, Then: []minic.Stmt{
+					minic.If{Cond: minic.Cond{Op: minic.Ne, L: minic.Var("v"), R: minic.Int(0)}, Then: []minic.Stmt{
+						minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("v")}}},
+					}},
+				}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+	bin, m := buildModel(t, p)
+	fn := funcByName(t, bin, m, "h")
+	r := Check(bin, fn, sinkSite(t, fn, "system"))
+	if !r.Infeasible {
+		t.Fatal("v == 0 then v != 0 not refuted")
+	}
+}
+
+// TestCallBetweenGuardsDropsIdentity: an intervening call may rewrite the
+// guarded variable's memory slot, so its reloaded value must get a fresh
+// identity and the "contradiction" must NOT be reported — the pass leans
+// feasible wherever tracking is lost.
+func TestCallBetweenGuardsDropsIdentity(t *testing.T) {
+	p := &minic.Program{
+		Name:    "t",
+		Globals: []*minic.Global{{Name: "g", Size: 16}},
+		Funcs: []*minic.Func{
+			{Name: "h", Body: []minic.Stmt{
+				minic.Let{Name: "v", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g")}}},
+				minic.If{Cond: minic.Cond{Op: minic.Lt, L: minic.Var("v"), R: minic.Int(4)}, Then: []minic.Stmt{
+					minic.ExprStmt{E: minic.Call{Name: "reset", Args: []minic.Expr{minic.GlobalRef("g")}}},
+					minic.If{Cond: minic.Cond{Op: minic.Ge, L: minic.Var("v"), R: minic.Int(100)}, Then: []minic.Stmt{
+						minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("v")}}},
+					}},
+				}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+	bin, m := buildModel(t, p)
+	fn := funcByName(t, bin, m, "h")
+	if r := Check(bin, fn, sinkSite(t, fn, "system")); r.Infeasible {
+		t.Fatalf("refuted across a memory clobber: %q", r.Refuted)
+	}
+}
+
+func TestNilFunctionFeasible(t *testing.T) {
+	if r := Check(nil, nil, 0x100); r.Infeasible {
+		t.Error("nil function refuted")
+	}
+}

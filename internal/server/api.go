@@ -174,13 +174,16 @@ type CandidateReport struct {
 	Score float64 `json:"score"`
 }
 
-// AlertReport is one taint alert.
+// AlertReport is one taint alert. Degraded marks alerts from functions
+// where an analysis budget tripped (reaching-definition fixpoint or alias
+// fact budget), so consumers can see where precision silently fell back.
 type AlertReport struct {
-	Site   uint32 `json:"site"`
-	Func   uint32 `json:"func"`
-	Sink   string `json:"sink"`
-	Kind   string `json:"kind"`
-	Source string `json:"source"`
+	Site     uint32 `json:"site"`
+	Func     uint32 `json:"func"`
+	Sink     string `json:"sink"`
+	Kind     string `json:"kind"`
+	Source   string `json:"source"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // DiffJobResult is the stable result of one evolution diff. Like JobResult
@@ -279,6 +282,10 @@ type RunEnv struct {
 	// Progress receives coarse progress lines from long-running jobs; the
 	// server surfaces the latest one in the job's status. May be nil.
 	Progress func(string)
+	// Truncated is called once per degraded alert (an analysis budget
+	// tripped in the alert's function), feeding
+	// fitsd_analysis_truncated_total. May be nil.
+	Truncated func()
 }
 
 // Runner executes one job. The default is DefaultRunner; tests substitute
@@ -326,8 +333,11 @@ func DefaultRunner(ctx context.Context, raw []byte, spec optbuild.Spec, env RunE
 			for _, a := range alerts {
 				tr.Alerts = append(tr.Alerts, AlertReport{
 					Site: a.Site, Func: a.Func, Sink: a.Sink,
-					Kind: a.Kind, Source: a.Source,
+					Kind: a.Kind, Source: a.Source, Degraded: a.Degraded,
 				})
+				if a.Degraded && env.Truncated != nil {
+					env.Truncated()
+				}
 			}
 		}
 		jr.Targets = append(jr.Targets, tr)

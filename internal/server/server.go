@@ -173,6 +173,7 @@ type Server struct {
 	mCorpusJobs     *Counter
 	mCorpusBinaries *Counter
 	mCorpusCross    *Counter
+	mTruncated      *Counter
 	hCorpusRounds   *Histogram
 
 	// diffReuse holds the float64 bits of the last completed diff's
@@ -233,6 +234,8 @@ func New(cfg Config) (*Server, error) {
 	s.mCorpusCross = s.reg.Counter("fitsd_corpus_cross_alerts_total", "Cross-binary alerts reported by completed corpus jobs.")
 	s.hCorpusRounds = s.reg.Histogram("fitsd_corpus_rounds", "Fixpoint rounds per completed corpus job.",
 		1, 2, 3, 4, 5, 6, 7, 8)
+	s.mTruncated = s.reg.Counter("fitsd_analysis_truncated_total",
+		"Alerts reported from functions where an analysis budget tripped (reaching-definition fixpoint or alias fact budget).")
 	// One analysis scheduler for the whole process, sized to GOMAXPROCS: the
 	// per-job worker count then bounds job concurrency while this bounds the
 	// total analysis goroutines those jobs fan out between them.
@@ -375,7 +378,7 @@ func (s *Server) runJob(j *Job) {
 	s.running.Store(j.id, j)
 	s.gRunning.Add(1)
 	s.cfg.Logf("job %s: running (%d bytes, sha %s)", j.id, j.size, j.sha[:12])
-	env := RunEnv{Cache: s.cfg.Cache, Sched: s.sched, Stages: new(fits.StageTimer), Progress: j.setProgress}
+	env := RunEnv{Cache: s.cfg.Cache, Sched: s.sched, Stages: new(fits.StageTimer), Progress: j.setProgress, Truncated: s.mTruncated.Inc}
 	out, err := s.invokeRunner(ctx, j, raw, raw2, env)
 	// Persist the result, then journal the terminal record, both before
 	// the job's new state is observable (the callback runs under the job

@@ -33,10 +33,12 @@ const (
 	ReachDef            // reaching-definition dataflow (inside Infer)
 	Infer               // vector extraction, clustering, scoring, ranking
 	Taint               // taint scans (static or symbolic engine)
+	Alias               // bounded points-to facts (inside Taint)
+	PathCheck           // alert path-feasibility filtering (inside Taint)
 	NumStages
 )
 
-var stageNames = [NumStages]string{"decode", "lift", "cfg", "reachdef", "infer", "taint"}
+var stageNames = [NumStages]string{"decode", "lift", "cfg", "reachdef", "infer", "taint", "alias", "pathcheck"}
 
 func (s Stage) String() string {
 	if int(s) < len(stageNames) {
@@ -47,7 +49,7 @@ func (s Stage) String() string {
 
 // Stages lists all stages in order, for iteration by exporters.
 func Stages() [NumStages]Stage {
-	return [NumStages]Stage{Decode, Lift, CFG, ReachDef, Infer, Taint}
+	return [NumStages]Stage{Decode, Lift, CFG, ReachDef, Infer, Taint, Alias, PathCheck}
 }
 
 // Timer accumulates per-stage costs. The zero value is ready to use; a nil

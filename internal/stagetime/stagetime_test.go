@@ -53,7 +53,7 @@ func TestSpanRecordsWallAndAllocs(t *testing.T) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"decode", "lift", "cfg", "reachdef", "infer", "taint"}
+	want := []string{"decode", "lift", "cfg", "reachdef", "infer", "taint", "alias", "pathcheck"}
 	stages := Stages()
 	if len(stages) != len(want) {
 		t.Fatalf("%d stages, want %d", len(stages), len(want))

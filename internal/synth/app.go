@@ -170,6 +170,12 @@ func (b *appBuilder) globals() {
 	cfg("g_cfg_mask", "255.255.255.0", 16)
 	cfg("g_cfg_gw", "192.168.1.254", 16)
 	cfg("g_version", "v2.17.4", 12)
+	if b.knobs.Handlers[VulnAliased] > 0 {
+		// Pointer table the aliased-flow handlers store fetched values
+		// through; only samples that plant VulnAliased carry it, so the
+		// rest of the corpus is byte-identical with or without the feature.
+		g(&minic.Global{Name: "g_ptrtab", Size: 32})
+	}
 }
 
 func (b *appBuilder) errorLoggers() {
@@ -541,6 +547,43 @@ func (b *appBuilder) handlerFunctions() {
 				minic.Let{Name: "n", E: minic.Call{Name: "strlen", Args: []minic.Expr{v("val")}}},
 				minic.If{Cond: minic.Cond{Op: minic.Lt, L: v("n"), R: i32(32)},
 					Then: []minic.Stmt{sinkStmt(sink, v("val"))}},
+				minic.Return{E: i32(0)},
+			}
+		case SafeInfeasible:
+			// The sink is guarded by contradictory bounds on an untainted
+			// unknown (the firmware version string's length is both < 4 and
+			// >= 100): statically reachable, semantically dead. A
+			// path-insensitive engine alerts; the feasibility pass refutes.
+			body = []minic.Stmt{
+				minic.Let{Name: "val", E: b.fetchExpr(key)},
+				minic.If{Cond: minic.Cond{Op: minic.Eq, L: v("val"), R: i32(0)},
+					Then: []minic.Stmt{minic.Return{E: i32(0)}}},
+				minic.Let{Name: "mode", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g_version")}}},
+				minic.If{Cond: minic.Cond{Op: minic.Lt, L: v("mode"), R: i32(4)},
+					Then: []minic.Stmt{
+						minic.If{Cond: minic.Cond{Op: minic.Ge, L: v("mode"), R: i32(100)},
+							Then: []minic.Stmt{sinkStmt(sink, v("val"))}},
+					}},
+				minic.Return{E: i32(0)},
+			}
+		case VulnAliased:
+			// The fetched value travels through a pointer-table slot whose
+			// index is unknown: the store and load addresses are symbolic,
+			// so value-level propagation loses the flow unless the alias
+			// pass connects the table's abstract location.
+			body = []minic.Stmt{
+				minic.Let{Name: "val", E: b.fetchExpr(key)},
+				minic.If{Cond: minic.Cond{Op: minic.Eq, L: v("val"), R: i32(0)},
+					Then: []minic.Stmt{minic.Return{E: i32(0)}}},
+				minic.Let{Name: "slot", E: minic.Bin{Op: minic.OpAnd,
+					L: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g_version")}},
+					R: i32(3)}},
+				minic.StoreStmt{Size: 4,
+					Addr: minic.Add(minic.GlobalRef("g_ptrtab"), minic.Mul(v("slot"), i32(4))),
+					Val:  v("val")},
+				minic.Let{Name: "p", E: minic.LoadW(
+					minic.Add(minic.GlobalRef("g_ptrtab"), minic.Mul(v("slot"), i32(4))))},
+				sinkStmt(sink, v("p")),
 				minic.Return{E: i32(0)},
 			}
 		default: // VulnShallow, VulnDeep, SystemKeyFetch

@@ -81,6 +81,10 @@ type ChainStep struct {
 type ChainSpec struct {
 	Seed  int64
 	Steps []ChainStepKind
+	// ExtraHandlers plants additional handlers of the given categories in
+	// every version's binary (see SampleSpec.ExtraHandlers); ChainDataset()
+	// leaves it nil so the standard chains are byte-identical.
+	ExtraHandlers map[HandlerCategory]int
 }
 
 // Chain is a generated version chain: len(Steps)+1 versions, where Steps[i]
@@ -154,6 +158,9 @@ func GenerateChain(spec ChainSpec) (*Chain, error) {
 			VulnRaw:          1,
 			SafeRaw:          1,
 		},
+	}
+	for cat, n := range spec.ExtraHandlers {
+		knobs.Handlers[cat] += n
 	}
 	app := buildApp(r, knobs)
 	if len(app.ITSNames) == 0 {

@@ -80,6 +80,9 @@ func Generate(spec SampleSpec) (*Sample, error) {
 		knobs.Handlers[VulnShallow] += 4 + r.Intn(4)
 		knobs.Handlers[VulnDeep] += 2 + r.Intn(2)
 	}
+	for cat, n := range spec.ExtraHandlers {
+		knobs.Handlers[cat] += n
+	}
 	switch spec.FailureMode {
 	case "preprocess-miss":
 		knobs.ShimNet = true

@@ -49,6 +49,14 @@ const (
 	// cannot see the check (region-level STA, path-insensitive symbolic
 	// taint) report it anyway — a classical-source false positive.
 	SafeRaw
+	// SafeInfeasible guards the sink behind contradictory branch
+	// conditions (x < 4 nested inside x >= 100): the sink is dead code and
+	// any alert is a false positive only path-feasibility checking removes.
+	SafeInfeasible
+	// VulnAliased is a true bug where the fetched field travels through a
+	// store/load pair on a pointer table: only the alias pass connects the
+	// tainted store to the sink's load.
+	VulnAliased
 )
 
 func (c HandlerCategory) String() string {
@@ -67,13 +75,17 @@ func (c HandlerCategory) String() string {
 		return "vuln-raw"
 	case SafeRaw:
 		return "safe-raw"
+	case SafeInfeasible:
+		return "safe-infeasible"
+	case VulnAliased:
+		return "vuln-aliased"
 	}
 	return "unknown"
 }
 
 // Vulnerable reports whether an alert on this handler is a true positive.
 func (c HandlerCategory) Vulnerable() bool {
-	return c == VulnShallow || c == VulnDeep || c == VulnRaw
+	return c == VulnShallow || c == VulnDeep || c == VulnRaw || c == VulnAliased
 }
 
 // HandlerTruth is the ground truth for one generated handler function.

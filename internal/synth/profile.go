@@ -121,6 +121,12 @@ type SampleSpec struct {
 	// FailureMode: "", "preprocess-miss" or "offset-indexed".
 	FailureMode string
 	Seed        int64
+	// ExtraHandlers plants additional handlers of the given categories in
+	// the main network binary, on top of the vendor profile's mix. The
+	// precision evaluation uses this to plant SafeInfeasible and
+	// VulnAliased cases; Dataset() leaves it nil so the standard corpus is
+	// byte-identical.
+	ExtraHandlers map[HandlerCategory]int
 }
 
 func specSeed(vendor, product, version string) int64 {

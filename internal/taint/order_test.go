@@ -23,6 +23,13 @@ func TestSortAlertsDeterministic(t *testing.T) {
 		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "env:wl_key"},
 		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key"},
 		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key", Binary: "b"},
+		// The precision-pass fields break the remaining ties: non-degraded
+		// before degraded, unrefuted before refuted, refuting constraints
+		// in string order.
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key", Degraded: true},
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key", Refuted: "u1 < 4 contradicts u1 >= 100"},
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key", Refuted: "u2 == 0 contradicts u2 != 0"},
+		{Site: 0x200, Func: 0x80, Sink: "system", Kind: know.SinkCommand, From: FromChannel, Key: "wl_key", Via: "nvram:wl_key", Refuted: "u2 == 0 contradicts u2 != 0", Degraded: true},
 		{Site: 0x200, Func: 0x90, Sink: "memcpy", Kind: know.SinkOverflow, From: FromCTSRegion},
 		{Site: 0x200, Func: 0x90, Sink: "memcpy", Kind: know.SinkOverflow, From: FromCTSRegion, Binary: "z"},
 	}

@@ -1,0 +1,133 @@
+package taint
+
+import (
+	"reflect"
+	"testing"
+
+	"fits/internal/minic"
+)
+
+// aliasedProgram launders received data through a global pointer table at a
+// symbolic index: value-level propagation alone loses the store, the alias
+// pass reconnects it to the load feeding the sink.
+func aliasedProgram() *minic.Program {
+	return &minic.Program{
+		Name: "t",
+		Globals: []*minic.Global{
+			{Name: "g_tab", Size: 32}, {Name: "g_v", Size: 16}, {Name: "store", Size: 64},
+		},
+		Funcs: []*minic.Func{
+			{Name: "fetch", NParams: 2, Body: []minic.Stmt{
+				minic.Return{E: minic.Add(minic.Var("p1"), minic.Int(4))},
+			}},
+			{Name: "handler", Body: []minic.Stmt{
+				minic.Let{Name: "v", E: minic.Call{Name: "fetch", Args: []minic.Expr{
+					minic.Str("username"), minic.GlobalRef("store")}}},
+				minic.Let{Name: "idx", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g_v")}}},
+				minic.StoreStmt{Size: 4, Addr: minic.Add(minic.GlobalRef("g_tab"), minic.Var("idx")), Val: minic.Var("v")},
+				minic.Let{Name: "p", E: minic.LoadW(minic.Add(minic.GlobalRef("g_tab"), minic.Var("idx")))},
+				minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("p")}}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+}
+
+// infeasibleProgram guards its sink behind v < 4 && v >= 100.
+func infeasibleProgram() *minic.Program {
+	return &minic.Program{
+		Name:    "t",
+		Globals: []*minic.Global{{Name: "g_v", Size: 16}, {Name: "store", Size: 64}},
+		Funcs: []*minic.Func{
+			{Name: "fetch", NParams: 2, Body: []minic.Stmt{
+				minic.Return{E: minic.Add(minic.Var("p1"), minic.Int(4))},
+			}},
+			{Name: "handler", Body: []minic.Stmt{
+				minic.Let{Name: "v", E: minic.Call{Name: "fetch", Args: []minic.Expr{
+					minic.Str("username"), minic.GlobalRef("store")}}},
+				minic.Let{Name: "n", E: minic.Call{Name: "strlen", Args: []minic.Expr{minic.GlobalRef("g_v")}}},
+				minic.If{Cond: minic.Cond{Op: minic.Lt, L: minic.Var("n"), R: minic.Int(4)}, Then: []minic.Stmt{
+					minic.If{Cond: minic.Cond{Op: minic.Ge, L: minic.Var("n"), R: minic.Int(100)}, Then: []minic.Stmt{
+						minic.ExprStmt{E: minic.Call{Name: "system", Args: []minic.Expr{minic.Var("v")}}},
+					}},
+				}},
+				minic.Return{E: minic.Int(0)},
+			}},
+		},
+	}
+}
+
+// TestAliasPassConnectsLaunderedFlow: the alias pass must recover the flow
+// value-level propagation loses through a symbolic-index store, and the
+// -no-alias escape hatch must lose it again.
+func TestAliasPassConnectsLaunderedFlow(t *testing.T) {
+	bin, m := buildBin(t, aliasedProgram())
+	its := []uint32{entryOf(t, bin, "fetch")}
+	with := New(bin, m, Options{UseCTS: true, ITS: its}).Run()
+	found := false
+	for _, a := range with {
+		if a.Sink == "system" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alias pass did not connect the laundered flow: %+v", with)
+	}
+	without := New(bin, m, Options{UseCTS: true, ITS: its, NoAlias: true}).Run()
+	for _, a := range without {
+		if a.Sink == "system" {
+			t.Fatalf("-no-alias still alerts on the laundered flow: %+v", without)
+		}
+	}
+}
+
+// TestPathcheckRefutesInfeasibleAlert: the contradictory guard must refute
+// the alert (excluded from Run, retained in AllAlerts with the constraint),
+// and -no-pathcheck must restore it.
+func TestPathcheckRefutesInfeasibleAlert(t *testing.T) {
+	bin, m := buildBin(t, infeasibleProgram())
+	its := []uint32{entryOf(t, bin, "fetch")}
+	e := New(bin, m, Options{UseCTS: true, ITS: its})
+	for _, a := range e.Run() {
+		if a.Sink == "system" {
+			t.Fatalf("infeasible alert survived pathcheck: %+v", a)
+		}
+	}
+	refuted := false
+	for _, a := range e.AllAlerts() {
+		if a.Sink == "system" && a.Refuted != "" {
+			refuted = true
+		}
+	}
+	if !refuted {
+		t.Fatal("refuted alert not retained in AllAlerts with its constraint")
+	}
+	plain := New(bin, m, Options{UseCTS: true, ITS: its, NoPathcheck: true}).Run()
+	found := false
+	for _, a := range plain {
+		if a.Sink == "system" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("-no-pathcheck did not restore the alert: %+v", plain)
+	}
+}
+
+// TestPrecisionCacheByteIdentical: sharing one PrecisionCache across
+// engines is purely a cost saving — alert slices must match the uncached
+// runs exactly, on repeated scans too.
+func TestPrecisionCacheByteIdentical(t *testing.T) {
+	for _, prog := range []*minic.Program{aliasedProgram(), infeasibleProgram()} {
+		bin, m := buildBin(t, prog)
+		its := []uint32{entryOf(t, bin, "fetch")}
+		want := New(bin, m, Options{UseCTS: true, ITS: its}).Run()
+		cache := new(PrecisionCache)
+		for i := 0; i < 3; i++ {
+			got := New(bin, m, Options{UseCTS: true, ITS: its, Precision: cache}).Run()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s run %d with shared cache diverged:\ngot  %+v\nwant %+v", prog.Name, i, got, want)
+			}
+		}
+	}
+}

@@ -247,6 +247,7 @@ type observer struct {
 func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate {
 	temps := map[ir.Temp]tval{}
 	texpr := map[ir.Temp]ir.Expr{}
+	var curInstr uint32 // instruction whose statements are being evaluated
 	get := func(l tloc) tval {
 		if v, ok := st[l]; ok {
 			return v
@@ -288,12 +289,19 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 				taint := v.taint || a.taint || in.e.taintedGlobals[uint32(a.c)]
 				return tval{kind: kTop, taint: taint}
 			}
-			return tval{kind: kTop, taint: a.taint}
+			// Unresolved address: the points-to pass may know which
+			// abstract location this load reads.
+			t := a.taint
+			if !t && in.e.aliasLoadTainted(in.fn, curInstr) {
+				t = true
+			}
+			return tval{kind: kTop, taint: t}
 		}
 		return tval{}
 	}
 
 	for _, irb := range blk.IR {
+		curInstr = irb.Addr
 		for _, s := range irb.Stmts {
 			switch s := s.(type) {
 			case *ir.WrTmp:
@@ -311,6 +319,13 @@ func (in *intra) transfer(blk *cfg.BasicBlock, st tstate, obs *observer) tstate 
 					st[tglob(uint32(a.c))] = v
 					if v.taint {
 						in.e.taintedGlobals[uint32(a.c)] = true
+					}
+				default:
+					// A tainted value stored through an unresolved pointer
+					// is exactly what value tracking used to drop; hand it
+					// to the points-to pass.
+					if v.taint {
+						in.e.aliasStoreTainted(in.fn, irb.Addr)
 					}
 				}
 			case *ir.Exit:

@@ -21,6 +21,7 @@ package taint
 import (
 	"sort"
 
+	"fits/internal/alias"
 	"fits/internal/binimg"
 	"fits/internal/cfg"
 	"fits/internal/dataflow"
@@ -78,6 +79,16 @@ type Alert struct {
 	// Filtered alerts matched the system-data string filter and are not
 	// reported.
 	Filtered bool
+	// Refuted is non-empty when the path-feasibility pass proved the sink
+	// unreachable under its collected branch constraints; it renders the
+	// contradicting constraint pair. Refuted alerts are excluded from Run
+	// like filtered ones and retained in AllAlerts for diagnostics.
+	Refuted string
+	// Degraded marks alerts from functions where an analysis budget
+	// tripped (reaching-definition fixpoint or alias fact budget): the
+	// engine fell back to coarser tracking around them, so their precision
+	// is that of the pre-budget passes.
+	Degraded bool
 }
 
 // Options configures an analysis run.
@@ -110,6 +121,29 @@ type Options struct {
 	// implicit key of keyless channel getters (a helper binary's argv is
 	// keyed by the helper's own path).
 	SelfPath string
+
+	// NoAlias disables the bounded points-to pass that connects tainted
+	// stores through unresolved pointers to later loads of overlapping
+	// abstract locations. On by default; the escape hatch exists so a
+	// regression can be bisected to the pass.
+	NoAlias bool
+	// NoPathcheck disables the sink-to-source path-feasibility pass that
+	// refutes alerts with unsatisfiable branch constraints.
+	NoPathcheck bool
+	// Precision, when non-nil, memoizes the pure per-function inputs of
+	// the precision passes across engines over the same binary (repeated
+	// scans: corpus fixpoint rounds, warm-cache rescans). Purely a cost
+	// saving — results are byte-identical with or without it.
+	Precision *PrecisionCache
+
+	// Clock/AllocCount, when set, sample wall nanoseconds and heap-object
+	// counts around the alias and pathcheck passes; the deltas are handed
+	// to OnAlias/OnPathcheck. Injected by impure callers — this package is
+	// under the nondet lint and never reads a clock itself.
+	Clock       func() int64
+	AllocCount  func() int64
+	OnAlias     func(wallNs, allocs int64)
+	OnPathcheck func(wallNs, allocs int64)
 }
 
 // DefaultMaxDepth bounds value propagation; deep wrapper chains stay in
@@ -138,6 +172,11 @@ type Engine struct {
 	// base address -> originating key string.
 	taintedObjects map[uint32]string
 	memo           map[memoKey]bool
+
+	// aliasFacts caches the per-function points-to analysis; aliasTainted
+	// collects the abstract locations tainted stores were resolved to.
+	aliasFacts   map[uint32]*alias.Facts
+	aliasTainted map[alias.Loc]bool
 }
 
 // New prepares an engine.
@@ -152,6 +191,8 @@ func New(bin *binimg.Binary, model *cfg.Model, opts Options) *Engine {
 		alerts:         map[uint32]*Alert{},
 		taintedGlobals: map[uint32]bool{},
 		taintedObjects: map[uint32]string{},
+		aliasFacts:     map[uint32]*alias.Facts{},
+		aliasTainted:   map[alias.Loc]bool{},
 	}
 }
 
@@ -167,9 +208,10 @@ func (e *Engine) Run() []Alert {
 	if len(e.opts.ChannelSeeds) > 0 {
 		e.runChannels()
 	}
+	e.finishAlerts()
 	var out []Alert
 	for _, a := range e.alerts {
-		if !a.Filtered {
+		if !a.Filtered && a.Refuted == "" {
 			out = append(out, *a)
 		}
 	}
@@ -189,7 +231,8 @@ func (e *Engine) AllAlerts() []Alert {
 
 // SortAlerts orders alerts fully deterministically: by sink site, then
 // containing function, sink name, kind, source kind, key, cross-binary hop
-// endpoint (Via), and binary. Both engines report in this order, so alert
+// endpoint (Via), refuting constraint, degraded mark (non-degraded first),
+// and binary. Both engines report in this order, so alert
 // lists — and the service responses built from them — are byte-stable
 // across runs and worker counts even if one site ever carries several
 // alerts.
@@ -216,6 +259,12 @@ func SortAlerts(out []Alert) {
 		}
 		if a.Via != b.Via {
 			return a.Via < b.Via
+		}
+		if a.Refuted != b.Refuted {
+			return a.Refuted < b.Refuted
+		}
+		if a.Degraded != b.Degraded {
+			return b.Degraded
 		}
 		return a.Binary < b.Binary
 	})
@@ -363,8 +412,10 @@ func (e *Engine) runITS() {
 			}
 		}
 	}
-	// Second pass: globals that received tainted values feed later loads.
-	if len(e.taintedGlobals) > 0 {
+	// Second pass: globals that received tainted values feed later loads —
+	// and, with the points-to pass on, abstract locations tainted through
+	// unresolved stores feed loads in functions propagated earlier.
+	if len(e.taintedGlobals) > 0 || len(e.aliasTainted) > 0 {
 		for _, f := range e.model.FuncsInOrder() {
 			e.propagateGlobals(f)
 		}

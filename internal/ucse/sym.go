@@ -1,0 +1,204 @@
+package ucse
+
+// sym.go exposes the symbolic-evaluation core to the precision passes
+// (internal/alias, internal/pathcheck). Where the path-exploring Engine
+// concretizes every load the binary image can answer, SymState is stricter:
+// only read-only sections (text, rodata) are concretized, because writable
+// initial bytes need not still hold when the analyzed path runs. Loads from
+// writable memory instead return a per-address memoized unknown, so two
+// reads of the same concrete location share one identity until something
+// may have clobbered memory — exactly the property an interval solver over
+// branch conditions needs to stay sound.
+
+import (
+	"fmt"
+
+	"fits/internal/binimg"
+	"fits/internal/ir"
+	"fits/internal/isa"
+)
+
+// SAlloc is the return value of a heap-allocation call, identified by its
+// call-site address. Address expressions built from it classify as that
+// heap object in the alias pass.
+type SAlloc struct{ Site uint32 }
+
+func (SAlloc) isSVal() {}
+
+// The synthetic stack window SymState hands to SP, exported so consumers
+// can classify addresses that fall inside it as stack slots.
+const (
+	FakeStackLo = fakeStackBase
+	FakeStackHi = fakeStackBase + fakeStackSize
+	FakeSP      = fakeStackBase + fakeStackSize/2
+)
+
+// Simplify builds a binop value, folding constant operands and additive
+// identities the way the path engine does.
+func Simplify(op ir.BinOp, l, r SVal) SVal { return simplify(op, l, r) }
+
+// SplitAddr decomposes an address expression into its concrete component
+// and reports whether a symbolic residue remains.
+func SplitAddr(v SVal) (base uint32, hasSym bool) { return splitAddr(v) }
+
+// SymState is a single-path symbolic machine state over the IR, owned by
+// one analysis of one function.
+type SymState struct {
+	bin   *binimg.Binary
+	Regs  [isa.NumRegs]SVal
+	temps map[ir.Temp]SVal
+	// mem tracks concrete-address stores made on this path; memUnknown
+	// memoizes the unknown produced for each concrete writable address
+	// read before any tracked store.
+	mem        map[uint32]SVal
+	memUnknown map[uint32]SVal
+	nextID     int
+}
+
+// NewSymState returns a state at function entry: every register unknown
+// except SP, which points into the synthetic stack window.
+func NewSymState(bin *binimg.Binary) *SymState {
+	s := &SymState{
+		bin:        bin,
+		temps:      map[ir.Temp]SVal{},
+		mem:        map[uint32]SVal{},
+		memUnknown: map[uint32]SVal{},
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		s.Regs[r] = s.Fresh()
+	}
+	s.Regs[isa.SP] = SConst{V: FakeSP}
+	return s
+}
+
+// Fresh mints an unknown with a new identity.
+func (s *SymState) Fresh() SVal {
+	s.nextID++
+	return SUnknown{ID: s.nextID}
+}
+
+// Eval computes an IR expression in the current state.
+func (s *SymState) Eval(x ir.Expr) SVal {
+	switch x := x.(type) {
+	case *ir.Const:
+		return SConst{V: uint32(x.V)}
+	case *ir.RdTmp:
+		if v, ok := s.temps[x.T]; ok {
+			return v
+		}
+		return s.Fresh()
+	case *ir.Get:
+		if v := s.Regs[x.R]; v != nil {
+			return v
+		}
+		return s.Fresh()
+	case *ir.Binop:
+		return simplify(x.Op, s.Eval(x.L), s.Eval(x.R))
+	case *ir.Load:
+		addr := s.Eval(x.Addr)
+		if c, ok := addr.(SConst); ok {
+			if v, ok := s.mem[c.V]; ok {
+				return v
+			}
+			// Only read-only image bytes are trusted; writable sections
+			// may have changed since load time.
+			if sec := s.bin.SectionOf(c.V); sec == "text" || sec == "rodata" {
+				if x.Size == 1 {
+					if b, ok := s.bin.ByteAt(c.V); ok {
+						return SConst{V: uint32(b)}
+					}
+				} else if w, ok := s.bin.WordAt(c.V); ok {
+					return SConst{V: w}
+				}
+			}
+			if v, ok := s.memUnknown[c.V]; ok {
+				return v
+			}
+			v := s.Fresh()
+			s.memUnknown[c.V] = v
+			return v
+		}
+		return SLoad{Addr: addr}
+	}
+	return s.Fresh()
+}
+
+// Step applies one statement's state effects and reports whether the
+// statement may have clobbered memory the state cannot track: a call (the
+// callee can write through any pointer), a syscall, or a store through a
+// symbolic address. Control statements (Exit/Jump/Ret) have no state
+// effect here — callers handle control flow themselves.
+func (s *SymState) Step(st ir.Stmt) (clobbered bool) {
+	switch st := st.(type) {
+	case *ir.WrTmp:
+		s.temps[st.T] = s.Eval(st.E)
+	case *ir.Put:
+		s.Regs[st.R] = s.Eval(st.E)
+	case *ir.Store:
+		addr := s.Eval(st.Addr)
+		val := s.Eval(st.Val)
+		if c, ok := addr.(SConst); ok {
+			s.mem[c.V] = val
+			return false
+		}
+		return true
+	case *ir.Call:
+		for r := isa.Reg(0); r < 4; r++ {
+			s.Regs[r] = s.Fresh()
+		}
+		s.Regs[isa.LR] = s.Fresh()
+		return true
+	case *ir.Sys:
+		s.Regs[isa.R0] = s.Fresh()
+		return true
+	}
+	return false
+}
+
+// HavocMemory forgets every tracked and memoized memory value; subsequent
+// loads of the same addresses see fresh unknowns.
+func (s *SymState) HavocMemory() {
+	clear(s.mem)
+	clear(s.memUnknown)
+}
+
+// HavocAll forgets registers and memory both, keeping only SP. Used when
+// control flow re-enters a tracked region from an unmodeled edge.
+func (s *SymState) HavocAll() {
+	for r := 0; r < isa.NumRegs; r++ {
+		s.Regs[r] = s.Fresh()
+	}
+	s.Regs[isa.SP] = SConst{V: FakeSP}
+	s.HavocMemory()
+}
+
+// Render formats a symbolic value deterministically, for solver variable
+// identity and refutation diagnostics.
+func Render(v SVal) string {
+	switch v := v.(type) {
+	case SConst:
+		return fmt.Sprintf("0x%x", v.V)
+	case SUnknown:
+		return fmt.Sprintf("u%d", v.ID)
+	case SAlloc:
+		return fmt.Sprintf("alloc@0x%x", v.Site)
+	case SLoad:
+		return "mem[" + Render(v.Addr) + "]"
+	case SBin:
+		return "(" + Render(v.L) + " " + v.Op.String() + " " + Render(v.R) + ")"
+	}
+	return "?"
+}
+
+// HasLoad reports whether v contains a symbolic-address load. Such values
+// have no stable identity across memory clobbers, so the path solver must
+// not constrain them.
+func HasLoad(v SVal) bool {
+	switch v := v.(type) {
+	case SLoad:
+		return true
+	case SBin:
+		return HasLoad(v.L) || HasLoad(v.R)
+	}
+	return false
+}

@@ -35,6 +35,10 @@ type XScanOptions struct {
 	TopK int
 	// StringFilter drops alerts keyed on system-data fields.
 	StringFilter bool
+	// NoAlias disables the bounded points-to pass; NoPathcheck disables the
+	// path-feasibility pass. Both precision passes are on by default.
+	NoAlias     bool
+	NoPathcheck bool
 	// Parallelism bounds worker goroutines (0 = all CPUs); the report is
 	// byte-identical at every setting.
 	Parallelism int
@@ -74,6 +78,8 @@ func XScanContext(ctx context.Context, files []CorpusFile, opts XScanOptions) (*
 		Mode:         mode,
 		TopK:         opts.TopK,
 		StringFilter: opts.StringFilter,
+		NoAlias:      opts.NoAlias,
+		NoPathcheck:  opts.NoPathcheck,
 		Parallelism:  opts.Parallelism,
 		Cache:        opts.Cache,
 		Scheduler:    opts.Scheduler,
